@@ -1,0 +1,101 @@
+// Shared load-generation helpers for the native-service benchmarks
+// (Figs. 2, 3, 4 — §7.1 of the paper).
+//
+// "In order to stretch as much as possible the implementation, we directly
+// connect clients to Eunomia, bypassing the data store. Thus, each client
+// simulates a different partition in a multi-server datacenter." Each
+// producer thread here plays one partition: it tags ops with a hybrid clock,
+// batches them locally for ~1 ms (the paper's batching interval) and pushes
+// the batch to the service; idle gaps are covered by heartbeats.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/clock/hybrid_clock.h"
+#include "src/eunomia/op.h"
+#include "src/eunomia/service.h"
+#include "src/sequencer/sequencer_service.h"
+
+namespace eunomia::bench {
+
+inline std::uint64_t NowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct ProducerOptions {
+  std::uint32_t num_partitions = 15;
+  std::uint64_t duration_us = 3'000'000;
+  std::uint64_t batch_interval_us = 1000;  // the paper's 1 ms batching
+  // Per-producer offered load cap (ops per batch interval). Keeps memory
+  // bounded while still far exceeding what the stabilizer can absorb once
+  // enough partitions are attached — the plateau is the service's capacity.
+  std::uint64_t ops_per_batch = 2000;
+};
+
+// Generic service concept: SubmitBatch(partition, vector<OpRecord>) and
+// Heartbeat(partition, ts).
+template <typename Service>
+std::uint64_t DriveProducers(Service& service, const ProducerOptions& options) {
+  std::atomic<std::uint64_t> submitted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(options.num_partitions);
+  const std::uint64_t deadline = NowMicros() + options.duration_us;
+  for (std::uint32_t p = 0; p < options.num_partitions; ++p) {
+    producers.emplace_back([&service, &options, &submitted, deadline, p] {
+      HybridClock clock;
+      std::vector<OpRecord> batch;
+      batch.reserve(options.ops_per_batch);
+      while (NowMicros() < deadline) {
+        batch.clear();
+        for (std::uint64_t i = 0; i < options.ops_per_batch; ++i) {
+          batch.push_back(OpRecord{clock.TimestampUpdate(NowMicros(), 0),
+                                   static_cast<PartitionId>(p), 0, 0});
+        }
+        submitted.fetch_add(batch.size(), std::memory_order_relaxed);
+        service.SubmitBatch(static_cast<PartitionId>(p), batch);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options.batch_interval_us));
+      }
+      // Final heartbeat far in the future lets the backlog stabilize.
+      service.Heartbeat(static_cast<PartitionId>(p),
+                        clock.max_ts() + 3'600'000'000ULL);
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  return submitted.load();
+}
+
+// Sequencer load: each client thread issues blocking Next() calls flat out.
+template <typename Sequencer>
+std::uint64_t DriveSequencerClients(Sequencer& sequencer, std::uint32_t clients,
+                                    std::uint64_t duration_us) {
+  std::atomic<std::uint64_t> granted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const std::uint64_t deadline = NowMicros() + duration_us;
+  for (std::uint32_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&sequencer, &granted, deadline] {
+      std::uint64_t local = 0;
+      while (NowMicros() < deadline) {
+        sequencer.Next();
+        ++local;
+      }
+      granted.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  return granted.load();
+}
+
+}  // namespace eunomia::bench

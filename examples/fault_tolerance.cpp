@@ -1,0 +1,95 @@
+// Fault-tolerant Eunomia demo (§3.3): a 3-replica native service survives
+// the crash of its leader mid-stream with no loss, no duplication, and no
+// coordination between replicas.
+//
+// The demo pushes a numbered stream of updates through the replicated
+// service, kills replica 0 (the leader) halfway, and verifies that the
+// emitted stream — produced partly by the old leader and partly by the new
+// one — is exactly the submitted sequence in timestamp order.
+//
+// Build & run:   ./build/examples/fault_tolerance
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/clock/hybrid_clock.h"
+#include "src/eunomia/service.h"
+
+namespace {
+
+std::uint64_t NowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kPartitions = 2;
+  constexpr int kTotalOps = 2000;
+  constexpr int kCrashAfter = 1000;
+
+  std::vector<std::uint64_t> emitted;  // op tags, in emission order
+  std::mutex mu;
+
+  eunomia::FtEunomiaService::Options options;
+  options.num_partitions = kPartitions;
+  options.num_replicas = 3;
+  options.stable_period_us = 300;
+  options.sink = [&](const std::vector<eunomia::OpRecord>& ops) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const eunomia::OpRecord& op : ops) {
+      emitted.push_back(op.tag);
+    }
+  };
+  eunomia::FtEunomiaService service(options);
+  service.Start();
+  std::printf("3-replica Eunomia started; leader = replica %u\n",
+              *service.CurrentLeader());
+
+  // One client alternating between two partitions: each update depends on
+  // the previous (Alg. 1 client clock), so tags 0..N-1 form a causal chain.
+  eunomia::Timestamp client_clock = 0;
+  std::vector<eunomia::HybridClock> clocks(kPartitions);
+  for (int i = 0; i < kTotalOps; ++i) {
+    const auto p = static_cast<eunomia::PartitionId>(i % kPartitions);
+    const eunomia::Timestamp ts =
+        clocks[p].TimestampUpdate(NowMicros(), client_clock);
+    client_clock = ts;
+    service.SubmitBatch(p, {eunomia::OpRecord{
+                               ts, p, 0, static_cast<std::uint64_t>(i)}});
+    if (i == kCrashAfter) {
+      std::printf("crashing the leader after %d ops...\n", i);
+      service.CrashReplica(0);
+      std::printf("new leader = replica %u (no handshake, no replay "
+                  "coordination)\n",
+                  *service.CurrentLeader());
+    }
+  }
+  for (eunomia::PartitionId p = 0; p < kPartitions; ++p) {
+    service.Heartbeat(p, client_clock + 1'000'000);
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.ops_stabilized() < kTotalOps &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.Stop();
+
+  std::lock_guard<std::mutex> lock(mu);
+  bool exact = emitted.size() == kTotalOps;
+  for (std::size_t i = 0; exact && i < emitted.size(); ++i) {
+    exact = emitted[i] == i;
+  }
+  std::printf("emitted %zu/%d updates across the failover\n", emitted.size(),
+              kTotalOps);
+  std::printf("stream is the exact causal sequence (no loss, no duplication, "
+              "no reorder): %s\n",
+              exact ? "yes" : "NO");
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// Geo-replicated store walkthrough: a social-feed style scenario on
+// EunomiaKV across three datacenters (the workload class the paper's
+// introduction motivates: internet services that must hide WAN latency yet
+// never show effects before their causes).
+//
+// Alice (Virginia, dc0) removes her manager from the audience of her posts
+// and then posts an update; Bob (Ireland, dc2) must never observe the post
+// without the audience change — causal consistency in one picture.
+//
+// The example runs the full simulated deployment (8 partitions / 3 servers
+// per DC, real WAN latencies), prints the causal chain with timestamps, and
+// contrasts with the eventually consistent baseline where the anomaly is
+// possible.
+//
+// Build & run:   ./build/examples/geo_store
+#include <cstdio>
+#include <string>
+
+#include "src/eventual/eventual.h"
+#include "src/georep/eunomiakv.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+constexpr eunomia::Key kAudienceKey = 1001;  // "alice/audience"
+constexpr eunomia::Key kPostsKey = 2002;     // "alice/posts"
+constexpr eunomia::ClientId kAlice = 1;
+
+void RunEunomiaKv() {
+  std::printf("--- EunomiaKV (causally consistent) ---\n");
+  eunomia::geo::GeoConfig config;  // the paper's 3-DC deployment
+  eunomia::sim::Simulator sim(2024);
+  eunomia::geo::EunomiaKvSystem store(&sim, config);
+  store.tracker().EnableDetailedLog();
+
+  // Alice at dc0: audience change, then the post — a causal chain.
+  bool chain_done = false;
+  store.ClientUpdate(kAlice, 0, kAudienceKey, "friends-only", [&] {
+    std::printf("[%6.1f ms] dc0: audience <- friends-only (update 1)\n",
+                sim.now() / 1000.0);
+    store.ClientUpdate(kAlice, 0, kPostsKey, "free at 5pm!", [&] {
+      std::printf("[%6.1f ms] dc0: posts    <- 'free at 5pm!' (update 2)\n",
+                  sim.now() / 1000.0);
+      chain_done = true;
+    });
+  });
+  sim.RunUntil(2 * eunomia::sim::kSecond);
+
+  // When did each update become visible in Ireland (dc2)?
+  const auto vis1 = store.tracker().VisibleAt(0, 2);
+  const auto vis2 = store.tracker().VisibleAt(1, 2);
+  if (chain_done && vis1 && vis2) {
+    std::printf("[%6.1f ms] dc2: audience change visible\n", *vis1 / 1000.0);
+    std::printf("[%6.1f ms] dc2: post visible\n", *vis2 / 1000.0);
+    std::printf("causal order at dc2 preserved: %s\n",
+                *vis1 <= *vis2 ? "yes (audience before post, always)" : "NO");
+  }
+
+  // Bob reads at dc2 after replication: both values present.
+  bool reads_done = false;
+  store.ClientRead(2, 2, kAudienceKey, [&] {
+    store.ClientRead(2, 2, kPostsKey, [&] { reads_done = true; });
+  });
+  sim.RunUntil(3 * eunomia::sim::kSecond);
+  const eunomia::geo::GeoVersion* audience = nullptr;
+  for (eunomia::PartitionId p = 0; p < config.partitions_per_dc; ++p) {
+    if (const auto* v = store.StoreAt(2, p).Get(kAudienceKey)) {
+      audience = v;
+    }
+  }
+  std::printf("dc2 replica state after Bob's reads: audience = \"%s\"\n",
+              reads_done && audience != nullptr ? audience->value.c_str()
+                                                : "(pending)");
+}
+
+void RunEventual() {
+  std::printf("\n--- Eventual consistency (no causality) ---\n");
+  eunomia::geo::GeoConfig config;
+  eunomia::sim::Simulator sim(2024);
+  eunomia::geo::EventualSystem store(&sim, config);
+  store.tracker().EnableDetailedLog();
+  bool done = false;
+  store.ClientUpdate(kAlice, 0, kAudienceKey, "friends-only", [&] {
+    store.ClientUpdate(kAlice, 0, kPostsKey, "free at 5pm!", [&] { done = true; });
+  });
+  sim.RunUntil(2 * eunomia::sim::kSecond);
+  const auto vis1 = store.tracker().VisibleAt(0, 2);
+  const auto vis2 = store.tracker().VisibleAt(1, 2);
+  if (done && vis1 && vis2) {
+    std::printf("dc2: audience visible at %.1f ms, post at %.1f ms\n",
+                *vis1 / 1000.0, *vis2 / 1000.0);
+    std::printf(
+        "eventual consistency applies each update on arrival: nothing "
+        "prevents the post\nfrom becoming visible before the audience change "
+        "under jitter or partition skew.\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "EunomiaKV geo-replication demo: 3 datacenters "
+      "(Virginia/Oregon/Ireland-like RTTs: 80/80/160 ms)\n\n");
+  RunEunomiaKv();
+  RunEventual();
+  return 0;
+}

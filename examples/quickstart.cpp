@@ -1,0 +1,89 @@
+// Quickstart: the Eunomia service in 80 lines.
+//
+// Builds a single-datacenter deployment of the *native* (multithreaded)
+// Eunomia service with 4 partitions, pushes causally related updates through
+// hybrid clocks, and shows that the service emits them in a total order
+// consistent with causality — without ever being on the client's critical
+// path.
+//
+// Build & run:   ./build/examples/quickstart
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "src/clock/hybrid_clock.h"
+#include "src/eunomia/service.h"
+
+namespace {
+
+std::uint64_t NowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint32_t kPartitions = 4;
+
+  // The sink is where stable, totally ordered updates come out — in a real
+  // deployment this ships them to remote datacenters.
+  std::vector<eunomia::OpRecord> shipped;
+  std::mutex mu;
+
+  eunomia::EunomiaService::Options options;
+  options.num_partitions = kPartitions;
+  options.stable_period_us = 500;  // theta: stabilize every 0.5 ms
+  options.sink = [&](const std::vector<eunomia::OpRecord>& ops) {
+    std::lock_guard<std::mutex> lock(mu);
+    shipped.insert(shipped.end(), ops.begin(), ops.end());
+  };
+  eunomia::EunomiaService service(options);
+  service.Start();
+
+  // One client whose causal history hops across partitions: each update
+  // carries the client's clock, so Property 1 (causality) holds end-to-end.
+  eunomia::Timestamp client_clock = 0;
+  std::vector<eunomia::HybridClock> partition_clocks(kPartitions);
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = static_cast<eunomia::PartitionId>(i % kPartitions);
+    const eunomia::Timestamp ts =
+        partition_clocks[p].TimestampUpdate(NowMicros(), client_clock);
+    client_clock = ts;  // Alg. 1 line 9: the reply updates the client clock
+    service.SubmitBatch(p, {eunomia::OpRecord{
+                               ts, p, /*key=*/static_cast<eunomia::Key>(i),
+                               /*tag=*/static_cast<std::uint64_t>(i)}});
+  }
+  // Idle partitions heartbeat so the last updates stabilize (Alg. 2 l.10-12).
+  for (eunomia::PartitionId p = 0; p < kPartitions; ++p) {
+    service.Heartbeat(p, client_clock + 1000);
+  }
+
+  // Eunomia works in the background; wait for it to drain.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.ops_stabilized() < 1000 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.Stop();
+
+  std::lock_guard<std::mutex> lock(mu);
+  std::printf("Eunomia stabilized %zu/1000 updates\n", shipped.size());
+
+  // Verify the causal total order: our client's updates were issued in tag
+  // order (0, 1, 2, ...) with each depending on the previous; the emission
+  // must preserve exactly that order.
+  bool ordered = true;
+  for (std::size_t i = 1; i < shipped.size(); ++i) {
+    if (shipped[i].tag != shipped[i - 1].tag + 1 ||
+        shipped[i].ts <= shipped[i - 1].ts) {
+      ordered = false;
+      break;
+    }
+  }
+  std::printf("causal total order preserved: %s\n", ordered ? "yes" : "NO");
+  return shipped.size() == 1000 && ordered ? 0 : 1;
+}

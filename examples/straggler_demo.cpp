@@ -1,0 +1,67 @@
+// Straggler demo (§7.2.3): what happens to a datacenter's outbound updates
+// when one partition communicates with the local Eunomia service less often
+// than it should.
+//
+// Eunomia's stable time is the minimum over the latest timestamps received
+// from every partition, so a partition that reports every 200 ms (instead
+// of every 1 ms) delays the *shipping* of every other partition's updates
+// by up to its reporting interval — visibility degrades proportionally, and
+// recovers immediately after the partition heals. Crucially, local clients
+// never notice: Eunomia is off their critical path.
+//
+// Build & run:   ./build/examples/straggler_demo
+#include <cstdio>
+
+#include "src/georep/eunomiakv.h"
+#include "src/sim/simulator.h"
+#include "src/workload/workload.h"
+
+int main() {
+  using namespace eunomia;
+
+  geo::GeoConfig config;
+  config.timeline_window_us = 500 * sim::kMillisecond;
+  sim::Simulator sim(77);
+  geo::EunomiaKvSystem store(&sim, config);
+
+  wl::WorkloadConfig workload;
+  workload.update_fraction = 0.2;
+  workload.clients_per_dc = 8;
+  workload.duration_us = 9 * sim::kSecond;
+  wl::WorkloadDriver driver(&sim, &store, workload, config.num_dcs);
+  driver.Start();
+
+  std::printf("phase 1 (0-3s): all partitions report to Eunomia every 1 ms\n");
+  sim.RunUntil(3 * sim::kSecond);
+
+  std::printf("phase 2 (3-6s): partition 0 of dc0 degrades to one report "
+              "every 200 ms\n");
+  store.SetPartitionCommInterval(0, 0, 200 * sim::kMillisecond);
+  sim.RunUntil(6 * sim::kSecond);
+
+  std::printf("phase 3 (6-9s): partition healed\n\n");
+  store.SetPartitionCommInterval(0, 0, config.batch_interval_us);
+  sim.RunUntil(9 * sim::kSecond);
+  driver.Stop();
+  sim.RunUntil(11 * sim::kSecond);
+
+  const TimeSeries* timeline = store.tracker().VisibilityTimeline(0, 1);
+  if (timeline == nullptr) {
+    std::printf("no visibility samples recorded\n");
+    return 1;
+  }
+  const auto means = timeline->ValueMeans();
+  std::printf("added visibility delay for dc0-origin updates at dc1 "
+              "(0.5 s windows):\n");
+  std::printf("  t(s)  delay(ms)\n");
+  for (std::size_t w = 0; w < means.size() && w < 18; ++w) {
+    const double t = static_cast<double>(w) * 0.5;
+    std::printf("  %4.1f  %8.1f  %s\n", t, means[w] / 1000.0,
+                t >= 3.0 && t < 6.0 ? "<- straggling" : "");
+  }
+  std::printf(
+      "\nexpected: ~3-5 ms while healthy, ~100 ms (half the 200 ms reporting "
+      "interval, on average) while\nstraggling, immediate recovery after "
+      "healing — and local clients never block either way.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Model of a loosely NTP-synchronized physical clock (§3.1).
+//
+// Each partition server owns a physical clock that is *not* perfectly
+// synchronized: it has a constant offset from true time plus a drift rate.
+// The paper requires correctness to be independent of synchronization
+// precision — the protocol tests exercise this model with offsets far larger
+// than anything NTP would leave behind.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace eunomia {
+
+class PhysicalClock {
+ public:
+  PhysicalClock() = default;
+
+  // offset_us: constant error relative to true time (may be negative, but
+  //   readings are clamped at 0 so timestamps remain unsigned).
+  // drift_ppm: parts-per-million rate error (positive runs fast).
+  PhysicalClock(std::int64_t offset_us, double drift_ppm)
+      : offset_us_(offset_us), drift_ppm_(drift_ppm) {}
+
+  // Reads the local clock given the true (simulator) time in microseconds.
+  Timestamp Read(std::uint64_t true_time_us) const {
+    const double drifted = static_cast<double>(true_time_us) * (1.0 + drift_ppm_ * 1e-6);
+    const std::int64_t local = static_cast<std::int64_t>(drifted) + offset_us_;
+    return local > 0 ? static_cast<Timestamp>(local) : 0;
+  }
+
+  std::int64_t offset_us() const { return offset_us_; }
+  double drift_ppm() const { return drift_ppm_; }
+
+  // NTP-style step correction: rewrites the offset so that Read(true_now)
+  // lands on true_now. Used by tests that model periodic re-synchronization.
+  void Discipline(std::uint64_t true_time_us) {
+    const double drifted =
+        static_cast<double>(true_time_us) * (1.0 + drift_ppm_ * 1e-6);
+    offset_us_ = static_cast<std::int64_t>(true_time_us) -
+                 static_cast<std::int64_t>(drifted);
+  }
+
+ private:
+  std::int64_t offset_us_ = 0;
+  double drift_ppm_ = 0.0;
+};
+
+}  // namespace eunomia

@@ -1,0 +1,43 @@
+#include "src/common/random.h"
+
+#include <cmath>
+
+namespace eunomia {
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  if (bound <= 1) {
+    return 0;
+  }
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  if (hi <= lo) {
+    return lo;
+  }
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextExponential(double mean) {
+  // Inverse CDF; guard the log argument away from 0.
+  double u = NextDouble();
+  if (u >= 1.0) {
+    u = 0.9999999999999999;
+  }
+  return -mean * std::log1p(-u);
+}
+
+}  // namespace eunomia

@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the simulator and the workload generator draws
+// from an explicitly seeded Rng so that whole experiments replay bit-for-bit.
+// The generator is xoshiro256**, seeded through SplitMix64 per the authors'
+// recommendation; both are tiny, fast, and well understood.
+#pragma once
+
+#include <cstdint>
+
+namespace eunomia {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state and to
+// derive independent child seeds ("streams") from a parent seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** 1.0 (Blackman & Vigna).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) {
+      word = sm.Next();
+    }
+  }
+
+  // Derives an independent generator; stream i of a given parent is stable
+  // across runs. Used to give every simulated node its own sequence.
+  Rng Fork(std::uint64_t stream) {
+    SplitMix64 sm(Next() ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+    return Rng(sm.Next());
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return Next(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  // Unbiased integer in [0, bound) via Lemire's multiply-shift with rejection.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  // Integer in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi);
+
+  // Double uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli draw.
+  bool NextBool(double probability_true) { return NextDouble() < probability_true; }
+
+  // Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace eunomia

@@ -1,0 +1,48 @@
+#include "src/common/zipf.h"
+
+#include <cmath>
+
+namespace eunomia {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t num_items, double exponent)
+    : num_items_(num_items == 0 ? 1 : num_items), exponent_(exponent) {
+  h_x1_ = H(1.5) - 1.0;
+  h_num_items_ = H(static_cast<double>(num_items_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -exponent_));
+}
+
+double ZipfGenerator::H(double x) const {
+  // Integral of x^-exponent; the exponent == 1 case degenerates to log.
+  if (exponent_ == 1.0) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - exponent_) - 1.0) / (1.0 - exponent_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (exponent_ == 1.0) {
+    return std::exp(x);
+  }
+  return std::pow(1.0 + x * (1.0 - exponent_), 1.0 / (1.0 - exponent_));
+}
+
+std::uint64_t ZipfGenerator::Sample(Rng& rng) const {
+  if (num_items_ == 1) {
+    return 0;
+  }
+  while (true) {
+    const double u = h_num_items_ + rng.NextDouble() * (h_x1_ - h_num_items_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(num_items_)) {
+      k = static_cast<double>(num_items_);
+    }
+    if (k - x <= s_ || u >= H(k + 0.5) - std::pow(k, -exponent_)) {
+      return static_cast<std::uint64_t>(k) - 1;  // 0-based rank
+    }
+  }
+}
+
+}  // namespace eunomia

@@ -1,0 +1,39 @@
+// Zipf (power-law) key sampler for the workload generator.
+//
+// The paper evaluates both uniform and power-law key distributions (§7.2,
+// Fig. 5, "U" and "P" workloads). This sampler implements the
+// rejection-inversion method of Hörmann & Derflinger (1996), which is O(1)
+// per sample regardless of the key-space size, so a 100k-key power-law
+// workload costs the same as a uniform one.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/random.h"
+
+namespace eunomia {
+
+class ZipfGenerator {
+ public:
+  // Ranks are 0-based: Sample() returns a value in [0, num_items). A larger
+  // `exponent` (theta) skews harder; 0.99 is the YCSB-standard default used
+  // throughout the benchmarks.
+  ZipfGenerator(std::uint64_t num_items, double exponent = 0.99);
+
+  std::uint64_t Sample(Rng& rng) const;
+
+  std::uint64_t num_items() const { return num_items_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  std::uint64_t num_items_;
+  double exponent_;
+  double h_x1_;
+  double h_num_items_;
+  double s_;
+};
+
+}  // namespace eunomia

@@ -1,0 +1,68 @@
+#include "src/eunomia/core.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eunomia {
+
+EunomiaCore::EunomiaCore(std::uint32_t num_partitions)
+    : num_partitions_(num_partitions == 0 ? 1 : num_partitions),
+      partition_time_(num_partitions_, kTimestampZero) {}
+
+bool EunomiaCore::AddOp(const OpRecord& op) {
+  assert(op.partition < num_partitions_);
+  Timestamp& ptime = partition_time_[op.partition];
+  if (op.ts <= ptime) {
+    // Property 2 says this cannot happen with correct partitions and FIFO
+    // links; a replica receiving re-sent batches (§3.3) filters duplicates
+    // before reaching the core. Count and drop.
+    ++monotonicity_violations_;
+    return false;
+  }
+  const bool inserted = ops_.Insert(OrderKeyOf(op), op);
+  assert(inserted && "(ts, partition) keys must be unique");
+  (void)inserted;
+  ptime = op.ts;
+  ++ops_received_;
+  return true;
+}
+
+void EunomiaCore::Heartbeat(PartitionId partition, Timestamp ts) {
+  assert(partition < num_partitions_);
+  ++heartbeats_received_;
+  Timestamp& ptime = partition_time_[partition];
+  if (ts > ptime) {
+    ptime = ts;
+  }
+}
+
+Timestamp EunomiaCore::StableTime() const {
+  return *std::min_element(partition_time_.begin(), partition_time_.end());
+}
+
+std::size_t EunomiaCore::ProcessStable(std::vector<OpRecord>* out) {
+  const Timestamp stable = StableTime();
+  if (ops_.empty() || stable == kTimestampZero) {
+    return 0;
+  }
+  return ForceExtractUpTo(stable, out);
+}
+
+std::size_t EunomiaCore::ForceExtractUpTo(Timestamp bound, std::vector<OpRecord>* out) {
+  if (ops_.empty() || bound == kTimestampZero) {
+    return 0;
+  }
+  scratch_.clear();
+  // Everything with key <= (bound, max partition) qualifies: an op with
+  // ts == bound is extracted regardless of its partition id.
+  ops_.ExtractUpTo(OpOrderKey{bound, ~PartitionId{0}}, &scratch_);
+  for (auto& [key, op] : scratch_) {
+    assert(key.ts >= last_emitted_ && "emission must be monotone");
+    last_emitted_ = key.ts;
+    out->push_back(op);
+  }
+  ops_emitted_ += scratch_.size();
+  return scratch_.size();
+}
+
+}  // namespace eunomia

@@ -1,0 +1,82 @@
+// EunomiaCore — Algorithm 3 of the paper: the site stabilization procedure.
+//
+// The core keeps:
+//   - Ops: the set of not-yet-stable operations, held in a red-black tree
+//     ordered by (timestamp, partition) — the data structure the paper's C++
+//     implementation uses (§6), because the hot loop is insert + ordered
+//     bulk extraction;
+//   - PartitionTime: a vector with the latest timestamp received from every
+//     partition (updated by both operations and heartbeats).
+//
+// A timestamp is *stable* when it is <= min(PartitionTime): Property 2
+// guarantees no partition will ever produce a smaller one. ProcessStable
+// extracts all stable operations in timestamp order — an order consistent
+// with causality by Property 1 — ready to be shipped to remote datacenters.
+//
+// The class is single-threaded on purpose: the service wrapper (service.h)
+// serializes access, mirroring the single stabilizer thread of the paper's
+// implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/eunomia/op.h"
+#include "src/rbtree/red_black_tree.h"
+
+namespace eunomia {
+
+class EunomiaCore {
+ public:
+  explicit EunomiaCore(std::uint32_t num_partitions);
+
+  std::uint32_t num_partitions() const { return num_partitions_; }
+
+  // ADD_OP (Alg. 3 lines 1-4). Returns false — and ignores the op — if it
+  // violates Property 2 (non-monotonic timestamp from its partition); the
+  // violation counter lets tests and the service assert this never happens
+  // with correct partitions.
+  bool AddOp(const OpRecord& op);
+
+  // HEARTBEAT (Alg. 3 lines 5-6). Heartbeats only move PartitionTime; a
+  // stale heartbeat (<= current entry) is ignored.
+  void Heartbeat(PartitionId partition, Timestamp ts);
+
+  // min(PartitionTime) (Alg. 3 line 8). Zero until every partition has been
+  // heard from at least once.
+  Timestamp StableTime() const;
+
+  // PROCESS_STABLE (Alg. 3 lines 7-11): extracts every pending op with
+  // ts <= StableTime() in (ts, partition) order, appending to *out.
+  // Returns the number of ops emitted.
+  std::size_t ProcessStable(std::vector<OpRecord>* out);
+
+  // Extracts every pending op with ts <= bound regardless of the local
+  // StableTime. Used by fault-tolerant followers applying the leader's
+  // authoritative STABLE notice (Alg. 4 lines 13-15): the leader may have
+  // heard from partitions this replica has not.
+  std::size_t ForceExtractUpTo(Timestamp bound, std::vector<OpRecord>* out);
+
+  // --- introspection ---------------------------------------------------------
+  std::size_t pending_ops() const { return ops_.size(); }
+  Timestamp partition_time(PartitionId p) const { return partition_time_[p]; }
+  Timestamp last_emitted() const { return last_emitted_; }
+  std::uint64_t ops_received() const { return ops_received_; }
+  std::uint64_t ops_emitted() const { return ops_emitted_; }
+  std::uint64_t heartbeats_received() const { return heartbeats_received_; }
+  std::uint64_t monotonicity_violations() const { return monotonicity_violations_; }
+
+ private:
+  std::uint32_t num_partitions_;
+  RedBlackTree<OpOrderKey, OpRecord> ops_;
+  std::vector<Timestamp> partition_time_;
+  Timestamp last_emitted_ = 0;
+  std::uint64_t ops_received_ = 0;
+  std::uint64_t ops_emitted_ = 0;
+  std::uint64_t heartbeats_received_ = 0;
+  std::uint64_t monotonicity_violations_ = 0;
+  std::vector<std::pair<OpOrderKey, OpRecord>> scratch_;
+};
+
+}  // namespace eunomia

@@ -1,0 +1,69 @@
+// Leader election hook for the fault-tolerant Eunomia service.
+//
+// The paper (§3.3) notes that "the existence of a unique leader is not
+// required for the correctness of the algorithm; it is simply a mechanism to
+// save network resources. Thus, any leader election protocol designed for
+// asynchronous systems (such as Ω) can be plugged into our implementation."
+//
+// We provide the classic Ω-style eventual leader detector over a
+// heartbeat-monitored membership: the leader is the lowest-id replica not
+// currently suspected. Suspicion is driven by the embedding layer (simulator
+// or native service) reporting last-heard-from times.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace eunomia {
+
+class OmegaDetector {
+ public:
+  // timeout_us: a replica silent for longer than this is suspected.
+  OmegaDetector(std::uint32_t num_replicas, std::uint64_t timeout_us)
+      : last_heard_(num_replicas, 0), timeout_us_(timeout_us) {}
+
+  std::uint32_t num_replicas() const {
+    return static_cast<std::uint32_t>(last_heard_.size());
+  }
+
+  // Records a heartbeat (or any message) from `replica` at local time now.
+  void OnAlive(std::uint32_t replica, std::uint64_t now_us) {
+    if (replica < last_heard_.size() && now_us > last_heard_[replica]) {
+      last_heard_[replica] = now_us;
+    }
+  }
+
+  // Marks a replica as permanently removed from the membership.
+  void Remove(std::uint32_t replica) {
+    if (replica < last_heard_.size()) {
+      removed_.resize(last_heard_.size(), false);
+      removed_[replica] = true;
+    }
+  }
+
+  bool Suspected(std::uint32_t replica, std::uint64_t now_us) const {
+    if (replica < removed_.size() && removed_[replica]) {
+      return true;
+    }
+    return now_us > last_heard_[replica] + timeout_us_;
+  }
+
+  // The current leader: lowest-id unsuspected replica, or nullopt if all
+  // are suspected.
+  std::optional<std::uint32_t> Leader(std::uint64_t now_us) const {
+    for (std::uint32_t r = 0; r < last_heard_.size(); ++r) {
+      if (!Suspected(r, now_us)) {
+        return r;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<std::uint64_t> last_heard_;
+  std::vector<bool> removed_;
+  std::uint64_t timeout_us_;
+};
+
+}  // namespace eunomia

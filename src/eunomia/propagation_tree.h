@@ -1,0 +1,141 @@
+// Propagation tree — the first §5 "Communication Patterns" optimization.
+//
+// "Eunomia constantly receives operations and heartbeats from partitions.
+// This is an all-to-one communication schema and, if the number of
+// partitions is large, it may not scale in practice. [We] build a
+// propagation tree among partition servers [and] batch operations" — both
+// reduce the number of messages Eunomia receives per unit of time at the
+// cost of a slight increase in stabilization delay.
+//
+// PropagationTree computes a k-ary tree topology over the partitions (node
+// 0 is the root and talks to Eunomia directly); TreeRelay is the per-node
+// forwarding logic: it accumulates the node's own batches plus everything
+// received from its children and hands the merged payload upstream once per
+// flush interval. Per-partition FIFO is preserved because each relay
+// forwards records in arrival order and links are FIFO; Eunomia's dedup /
+// PartitionTime machinery is oblivious to the extra hops.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/eunomia/op.h"
+
+namespace eunomia {
+
+class PropagationTree {
+ public:
+  // n nodes (one per partition server), fanout >= 2 children per node.
+  PropagationTree(std::uint32_t n, std::uint32_t fanout)
+      : n_(n == 0 ? 1 : n), fanout_(fanout < 2 ? 2 : fanout) {}
+
+  std::uint32_t size() const { return n_; }
+  std::uint32_t fanout() const { return fanout_; }
+
+  bool IsRoot(std::uint32_t node) const { return node == 0; }
+
+  // Parent of `node`, or nullopt for the root.
+  std::optional<std::uint32_t> Parent(std::uint32_t node) const {
+    assert(node < n_);
+    if (node == 0) {
+      return std::nullopt;
+    }
+    return (node - 1) / fanout_;
+  }
+
+  std::vector<std::uint32_t> Children(std::uint32_t node) const {
+    assert(node < n_);
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t c = node * fanout_ + 1;
+         c <= node * fanout_ + fanout_ && c < n_; ++c) {
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  // Number of hops from `node` to the root.
+  std::uint32_t Depth(std::uint32_t node) const {
+    std::uint32_t depth = 0;
+    while (node != 0) {
+      node = (node - 1) / fanout_;
+      ++depth;
+    }
+    return depth;
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t fanout_;
+};
+
+// Per-node relay state: merged ops and heartbeats waiting to move upstream.
+class TreeRelay {
+ public:
+  explicit TreeRelay(std::uint32_t num_partitions)
+      : heartbeats_(num_partitions, 0) {}
+
+  // The node's own freshly timestamped operations (in timestamp order).
+  void AddLocal(const std::vector<OpRecord>& ops) {
+    pending_ops_.insert(pending_ops_.end(), ops.begin(), ops.end());
+  }
+
+  // The node's own heartbeat (when it has no ops).
+  void AddLocalHeartbeat(PartitionId partition, Timestamp ts) {
+    if (partition < heartbeats_.size() && ts > heartbeats_[partition]) {
+      heartbeats_[partition] = ts;
+    }
+  }
+
+  struct Payload {
+    std::vector<OpRecord> ops;
+    // (partition, ts) pairs; only the freshest per partition is kept.
+    std::vector<std::pair<PartitionId, Timestamp>> heartbeats;
+  };
+
+  // A child's flushed payload arriving over a FIFO link.
+  void OnChildPayload(const Payload& payload) {
+    pending_ops_.insert(pending_ops_.end(), payload.ops.begin(),
+                        payload.ops.end());
+    for (const auto& [partition, ts] : payload.heartbeats) {
+      AddLocalHeartbeat(partition, ts);
+    }
+  }
+
+  bool HasPending() const {
+    if (!pending_ops_.empty()) {
+      return true;
+    }
+    for (const Timestamp hb : heartbeats_) {
+      if (hb > 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Hands everything accumulated upstream (or to Eunomia at the root).
+  // Heartbeats for partitions that also have pending ops newer than the
+  // heartbeat are dropped — the op already carries fresher information.
+  Payload TakeUpstream() {
+    Payload out;
+    out.ops.swap(pending_ops_);
+    for (PartitionId p = 0; p < heartbeats_.size(); ++p) {
+      if (heartbeats_[p] > 0) {
+        out.heartbeats.emplace_back(p, heartbeats_[p]);
+        heartbeats_[p] = 0;
+      }
+    }
+    return out;
+  }
+
+  std::size_t pending_ops() const { return pending_ops_.size(); }
+
+ private:
+  std::vector<OpRecord> pending_ops_;
+  std::vector<Timestamp> heartbeats_;
+};
+
+}  // namespace eunomia

@@ -1,0 +1,116 @@
+// Partition-side senders towards the Eunomia service.
+//
+// Two pieces of §5 / §3.3 live here as pure (transport-agnostic) logic so
+// that both the simulator and the native multithreaded service reuse them:
+//
+//   - PartitionBatcher (§5 "Communication Patterns"): ops are accumulated at
+//     the partition and flushed to Eunomia periodically (the paper uses a
+//     1 ms batching interval in the throughput experiments). Batching trades
+//     a bounded increase in stabilization delay for far fewer messages.
+//
+//   - ReplicatedSender (§3.3): with a fault-tolerant Eunomia, a partition
+//     keeps, per replica e_f, the latest timestamp that replica acknowledged
+//     (Ack_n[f]) and sends every op with ts > Ack_n[f] in each batch. This
+//     enforces the *prefix property* — a replica holding u_j also holds
+//     every earlier op from the same partition — over channels that may
+//     drop or duplicate messages (at-least-once is enough; ordering and
+//     exactly-once are NOT required).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/eunomia/op.h"
+
+namespace eunomia {
+
+class PartitionBatcher {
+ public:
+  void Add(const OpRecord& op) {
+    assert(buffer_.empty() || op.ts > buffer_.back().ts);
+    buffer_.push_back(op);
+  }
+
+  bool empty() const { return buffer_.empty(); }
+  std::size_t size() const { return buffer_.size(); }
+
+  // Hands the accumulated batch over (ops are in timestamp order).
+  std::vector<OpRecord> TakeBatch() {
+    std::vector<OpRecord> out;
+    out.swap(buffer_);
+    return out;
+  }
+
+ private:
+  std::vector<OpRecord> buffer_;
+};
+
+class ReplicatedSender {
+ public:
+  explicit ReplicatedSender(std::uint32_t num_replicas)
+      : acks_(num_replicas, kTimestampZero) {}
+
+  std::uint32_t num_replicas() const {
+    return static_cast<std::uint32_t>(acks_.size());
+  }
+
+  void Add(const OpRecord& op) {
+    assert(unacked_.empty() || op.ts > unacked_.back().ts);
+    unacked_.push_back(op);
+  }
+
+  // The batch for replica f: every buffered op with ts > Ack_n[f], in
+  // timestamp order. Resending already-sent-but-unacked ops is what makes
+  // the protocol immune to message loss.
+  std::vector<OpRecord> BatchFor(std::uint32_t replica) const {
+    assert(replica < acks_.size());
+    std::vector<OpRecord> out;
+    const Timestamp ack = acks_[replica];
+    for (const OpRecord& op : unacked_) {
+      if (op.ts > ack) {
+        out.push_back(op);
+      }
+    }
+    return out;
+  }
+
+  // ACK from replica f carrying PartitionTime_f[p_n] (Alg. 4 line 5).
+  // Acknowledgements can arrive out of order; only forward movement counts.
+  void OnAck(std::uint32_t replica, Timestamp ts) {
+    assert(replica < acks_.size());
+    if (ts > acks_[replica]) {
+      acks_[replica] = ts;
+    }
+    Trim();
+  }
+
+  // Removes a replica from the ack set (it crashed permanently); buffered
+  // ops it never acknowledged can then be trimmed against the others.
+  void DropReplica(std::uint32_t replica) {
+    assert(replica < acks_.size());
+    acks_[replica] = kTimestampMax;
+    Trim();
+  }
+
+  std::size_t unacked_size() const { return unacked_.size(); }
+  Timestamp ack_of(std::uint32_t replica) const { return acks_[replica]; }
+
+ private:
+  void Trim() {
+    Timestamp min_ack = kTimestampMax;
+    for (const Timestamp a : acks_) {
+      min_ack = a < min_ack ? a : min_ack;
+    }
+    while (!unacked_.empty() && unacked_.front().ts <= min_ack) {
+      unacked_.pop_front();
+    }
+  }
+
+  std::deque<OpRecord> unacked_;
+  std::vector<Timestamp> acks_;
+};
+
+}  // namespace eunomia

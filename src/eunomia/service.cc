@@ -1,0 +1,260 @@
+#include "src/eunomia/service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace eunomia {
+
+namespace {
+
+void SleepMicros(std::uint64_t us) {
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+// --- EunomiaService ----------------------------------------------------------
+
+EunomiaService::EunomiaService(Options options)
+    : options_(std::move(options)), core_(options_.num_partitions) {
+  inboxes_.reserve(options_.num_partitions);
+  for (std::uint32_t i = 0; i < options_.num_partitions; ++i) {
+    inboxes_.push_back(std::make_unique<Inbox>());
+  }
+}
+
+EunomiaService::~EunomiaService() { Stop(); }
+
+void EunomiaService::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  stabilizer_ = std::thread([this] { StabilizerLoop(); });
+}
+
+void EunomiaService::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  if (stabilizer_.joinable()) {
+    stabilizer_.join();
+  }
+}
+
+void EunomiaService::SubmitBatch(PartitionId partition, std::vector<OpRecord> batch) {
+  assert(partition < inboxes_.size());
+  ops_submitted_.fetch_add(batch.size(), std::memory_order_relaxed);
+  Inbox& inbox = *inboxes_[partition];
+  std::lock_guard<std::mutex> lock(inbox.mu);
+  inbox.batches.push_back(std::move(batch));
+}
+
+void EunomiaService::Heartbeat(PartitionId partition, Timestamp ts) {
+  assert(partition < inboxes_.size());
+  Inbox& inbox = *inboxes_[partition];
+  std::lock_guard<std::mutex> lock(inbox.mu);
+  inbox.heartbeat = std::max(inbox.heartbeat, ts);
+}
+
+void EunomiaService::StabilizerLoop() {
+  std::vector<std::vector<OpRecord>> drained;
+  while (running_.load(std::memory_order_relaxed)) {
+    // Drain every partition inbox into the core.
+    for (std::uint32_t p = 0; p < inboxes_.size(); ++p) {
+      Inbox& inbox = *inboxes_[p];
+      Timestamp hb = 0;
+      {
+        std::lock_guard<std::mutex> lock(inbox.mu);
+        drained.swap(inbox.batches);
+        hb = inbox.heartbeat;
+      }
+      for (const auto& batch : drained) {
+        for (const OpRecord& op : batch) {
+          core_.AddOp(op);
+        }
+      }
+      drained.clear();
+      if (hb > 0) {
+        core_.Heartbeat(p, hb);
+      }
+    }
+    // PROCESS_STABLE.
+    stable_buffer_.clear();
+    const std::size_t emitted = core_.ProcessStable(&stable_buffer_);
+    if (emitted > 0) {
+      ops_stabilized_.fetch_add(emitted, std::memory_order_relaxed);
+      if (options_.sink) {
+        options_.sink(stable_buffer_);
+      }
+    }
+    SleepMicros(options_.stable_period_us);
+  }
+}
+
+// --- FtEunomiaService --------------------------------------------------------
+
+FtEunomiaService::FtEunomiaService(Options options) : options_(std::move(options)) {
+  assert(options_.num_replicas >= 1);
+  replicas_.reserve(options_.num_replicas);
+  for (std::uint32_t r = 0; r < options_.num_replicas; ++r) {
+    auto state = std::make_unique<ReplicaState>();
+    state->heartbeats.assign(options_.num_partitions, 0);
+    state->logic = std::make_unique<EunomiaReplica>(r, options_.num_partitions);
+    state->acks = std::vector<std::atomic<Timestamp>>(options_.num_partitions);
+    for (auto& a : state->acks) {
+      a.store(0, std::memory_order_relaxed);
+    }
+    replicas_.push_back(std::move(state));
+  }
+}
+
+FtEunomiaService::~FtEunomiaService() { Stop(); }
+
+void FtEunomiaService::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  leader_.store(0);
+  for (std::uint32_t r = 0; r < replicas_.size(); ++r) {
+    replicas_[r]->alive.store(true);
+    replicas_[r]->thread = std::thread([this, r] { ReplicaLoop(r); });
+  }
+}
+
+void FtEunomiaService::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  for (auto& replica : replicas_) {
+    replica->alive.store(false);
+    if (replica->thread.joinable()) {
+      replica->thread.join();
+    }
+  }
+}
+
+void FtEunomiaService::SubmitBatch(PartitionId partition,
+                                   const std::vector<OpRecord>& batch) {
+  for (auto& replica : replicas_) {
+    if (!replica->alive.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(replica->mu);
+    replica->batches.emplace_back(partition, batch);  // deliberate copy per replica
+  }
+}
+
+void FtEunomiaService::Heartbeat(PartitionId partition, Timestamp ts) {
+  for (auto& replica : replicas_) {
+    if (!replica->alive.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(replica->mu);
+    replica->heartbeats[partition] = std::max(replica->heartbeats[partition], ts);
+  }
+}
+
+Timestamp FtEunomiaService::AckOf(std::uint32_t replica, PartitionId partition) const {
+  assert(replica < replicas_.size() && partition < options_.num_partitions);
+  if (!replicas_[replica]->alive.load(std::memory_order_relaxed)) {
+    return kTimestampMax;
+  }
+  return replicas_[replica]->acks[partition].load(std::memory_order_relaxed);
+}
+
+void FtEunomiaService::CrashReplica(std::uint32_t replica) {
+  assert(replica < replicas_.size());
+  ReplicaState& state = *replicas_[replica];
+  if (!state.alive.exchange(false)) {
+    return;
+  }
+  if (state.thread.joinable()) {
+    state.thread.join();
+  }
+  RecomputeLeader();
+}
+
+void FtEunomiaService::RecomputeLeader() {
+  for (std::uint32_t r = 0; r < replicas_.size(); ++r) {
+    if (replicas_[r]->alive.load(std::memory_order_relaxed)) {
+      leader_.store(static_cast<std::int32_t>(r));
+      return;
+    }
+  }
+  leader_.store(-1);
+}
+
+bool FtEunomiaService::AnyReplicaAlive() const {
+  for (const auto& replica : replicas_) {
+    if (replica->alive.load(std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<std::uint32_t> FtEunomiaService::CurrentLeader() const {
+  const std::int32_t l = leader_.load(std::memory_order_relaxed);
+  return l >= 0 ? std::optional<std::uint32_t>(static_cast<std::uint32_t>(l))
+                : std::nullopt;
+}
+
+void FtEunomiaService::ReplicaLoop(std::uint32_t replica_id) {
+  ReplicaState& state = *replicas_[replica_id];
+  std::vector<std::pair<PartitionId, std::vector<OpRecord>>> drained;
+  std::vector<Timestamp> heartbeats(options_.num_partitions, 0);
+  std::vector<OpRecord> stable_ops;
+  while (running_.load(std::memory_order_relaxed) &&
+         state.alive.load(std::memory_order_relaxed)) {
+    {
+      std::lock_guard<std::mutex> lock(state.mu);
+      drained.swap(state.batches);
+      heartbeats = state.heartbeats;
+    }
+    // NEW_BATCH per Alg. 4: dedup against PartitionTime_f, then cumulative ack.
+    for (auto& [partition, batch] : drained) {
+      const Timestamp ack = state.logic->NewBatch(batch, partition);
+      state.acks[partition].store(ack, std::memory_order_relaxed);
+    }
+    drained.clear();
+    for (PartitionId p = 0; p < heartbeats.size(); ++p) {
+      if (heartbeats[p] > 0) {
+        state.logic->Heartbeat(p, heartbeats[p]);
+      }
+    }
+    const bool is_leader =
+        leader_.load(std::memory_order_relaxed) == static_cast<std::int32_t>(replica_id);
+    if (is_leader) {
+      stable_ops.clear();
+      const auto result = state.logic->ProcessStable(&stable_ops);
+      if (result.emitted > 0) {
+        ops_stabilized_.fetch_add(result.emitted, std::memory_order_relaxed);
+        if (options_.sink) {
+          options_.sink(stable_ops);
+        }
+      }
+      if (result.stable_time > 0) {
+        // STABLE broadcast (Alg. 4 line 12).
+        for (std::uint32_t r = 0; r < replicas_.size(); ++r) {
+          if (r != replica_id && replicas_[r]->alive.load(std::memory_order_relaxed)) {
+            Timestamp cur = replicas_[r]->stable_notice.load(std::memory_order_relaxed);
+            while (cur < result.stable_time &&
+                   !replicas_[r]->stable_notice.compare_exchange_weak(
+                       cur, result.stable_time, std::memory_order_relaxed)) {
+            }
+          }
+        }
+      }
+    } else {
+      // Follower: apply the leader's stable notice (Alg. 4 lines 13-15).
+      const Timestamp notice = state.stable_notice.load(std::memory_order_relaxed);
+      if (notice > 0) {
+        state.logic->OnStableNotice(notice);
+      }
+    }
+    SleepMicros(options_.stable_period_us);
+  }
+}
+
+}  // namespace eunomia

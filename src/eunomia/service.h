@@ -1,0 +1,152 @@
+// Native multithreaded Eunomia service — the C++ implementation of §6.
+//
+// This is the component the paper benchmarks in §7.1 by connecting load
+// generators directly to it (bypassing the data store): partitions batch
+// operations locally (~1 ms) and push them to the service; a single
+// stabilizer thread drains the per-partition inboxes into the red-black-tree
+// core, periodically computes the stable time, and emits the stable prefix,
+// in timestamp order, to a sink (in production, the propagation path to
+// remote datacenters).
+//
+// Two variants:
+//   - EunomiaService: the non-fault-tolerant single-instance service.
+//   - FtEunomiaService: N replicas (Alg. 4); partitions fan batches out to
+//     every replica, replicas deduplicate and acknowledge cumulatively, the
+//     leader stabilizes and notifies followers. Replicas never coordinate on
+//     the input order — that is why fault tolerance costs so little compared
+//     to a chain-replicated sequencer (Fig. 3).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/eunomia/core.h"
+#include "src/eunomia/op.h"
+#include "src/eunomia/replica.h"
+
+namespace eunomia {
+
+// Callback invoked with each stable batch (ops are in timestamp order).
+// May be empty; the service then just counts.
+using StableSink = std::function<void(const std::vector<OpRecord>&)>;
+
+class EunomiaService {
+ public:
+  struct Options {
+    std::uint32_t num_partitions = 1;
+    std::uint64_t stable_period_us = 500;  // theta
+    StableSink sink;
+  };
+
+  explicit EunomiaService(Options options);
+  ~EunomiaService();
+
+  EunomiaService(const EunomiaService&) = delete;
+  EunomiaService& operator=(const EunomiaService&) = delete;
+
+  void Start();
+  void Stop();
+
+  // Producer API — callable concurrently from partition threads. Ops inside
+  // a batch must be in increasing timestamp order (the partition guarantees
+  // it; Property 2).
+  void SubmitBatch(PartitionId partition, std::vector<OpRecord> batch);
+  void Heartbeat(PartitionId partition, Timestamp ts);
+
+  std::uint64_t ops_stabilized() const {
+    return ops_stabilized_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t ops_submitted() const {
+    return ops_submitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Inbox {
+    std::mutex mu;
+    std::vector<std::vector<OpRecord>> batches;
+    Timestamp heartbeat = 0;
+  };
+
+  void StabilizerLoop();
+
+  Options options_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  EunomiaCore core_;
+  std::thread stabilizer_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> ops_stabilized_{0};
+  std::atomic<std::uint64_t> ops_submitted_{0};
+  std::vector<OpRecord> stable_buffer_;
+};
+
+class FtEunomiaService {
+ public:
+  struct Options {
+    std::uint32_t num_partitions = 1;
+    std::uint32_t num_replicas = 3;
+    std::uint64_t stable_period_us = 500;  // theta
+    StableSink sink;  // invoked by whichever replica is currently leader
+  };
+
+  explicit FtEunomiaService(Options options);
+  ~FtEunomiaService();
+
+  FtEunomiaService(const FtEunomiaService&) = delete;
+  FtEunomiaService& operator=(const FtEunomiaService&) = delete;
+
+  void Start();
+  void Stop();
+
+  // Fans the batch out to every live replica (the partition-side
+  // ReplicatedSender logic — resend-until-acked — is handled by the caller
+  // via AckOf; see bench/service_driver.h).
+  void SubmitBatch(PartitionId partition, const std::vector<OpRecord>& batch);
+  void Heartbeat(PartitionId partition, Timestamp ts);
+
+  // Latest cumulative ack from `replica` for `partition`; kTimestampMax if
+  // the replica was crashed (callers treat it as "stop buffering for it").
+  Timestamp AckOf(std::uint32_t replica, PartitionId partition) const;
+
+  // Crash injection: stops the replica thread; if it was the leader, the
+  // next live replica takes over (lowest id, Omega-style).
+  void CrashReplica(std::uint32_t replica);
+
+  bool AnyReplicaAlive() const;
+  std::optional<std::uint32_t> CurrentLeader() const;
+
+  std::uint64_t ops_stabilized() const {
+    return ops_stabilized_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ReplicaState {
+    std::mutex mu;
+    std::vector<std::pair<PartitionId, std::vector<OpRecord>>> batches;
+    std::vector<Timestamp> heartbeats;  // per partition
+    std::unique_ptr<EunomiaReplica> logic;
+    std::thread thread;
+    std::atomic<bool> alive{false};
+    std::vector<std::atomic<Timestamp>> acks;  // per partition
+    // Stable notices from the leader, applied by followers.
+    std::atomic<Timestamp> stable_notice{0};
+  };
+
+  void ReplicaLoop(std::uint32_t replica_id);
+  void RecomputeLeader();
+
+  Options options_;
+  std::vector<std::unique_ptr<ReplicaState>> replicas_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::int32_t> leader_{0};  // -1 when none alive
+  std::atomic<std::uint64_t> ops_stabilized_{0};
+};
+
+}  // namespace eunomia

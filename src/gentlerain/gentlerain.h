@@ -1,0 +1,110 @@
+// GentleRain baseline (Du et al., SoCC '14) — global stabilization with a
+// single scalar (§2, §7.2).
+//
+// GentleRain timestamps updates with loosely synchronized physical clocks
+// and over-compresses causal metadata into one scalar: a remote update with
+// timestamp ts becomes visible at a datacenter only once the Global Stable
+// Time there has passed ts — i.e., once *every* partition has heard, from
+// *every* datacenter, a timestamp >= ts. That makes the visibility lower
+// bound the travel time to the farthest datacenter regardless of origin
+// (the reason GentleRain "is not capable of making updates visible without
+// adding 40 ms of extra delay" in Fig. 6 left).
+//
+// Stabilization machinery, per the paper's §7.2 setup: sibling partitions
+// across datacenters exchange heartbeats every remote_hb_interval (10 ms);
+// within a datacenter, partitions report min(VV) to a local aggregator
+// every gst_interval (5 ms), which broadcasts the new GST. Both activities
+// consume partition capacity — the throughput cost of global stabilization.
+//
+// Unlike Eunomia's hybrid clocks, GentleRain must *wait out* clock skew: an
+// update whose client dependency timestamp is at or ahead of the partition's
+// physical clock blocks until the clock catches up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/clock/physical_clock.h"
+#include "src/common/types.h"
+#include "src/georep/config.h"
+#include "src/georep/geo_system.h"
+#include "src/georep/visibility.h"
+#include "src/sim/network.h"
+#include "src/sim/server.h"
+#include "src/sim/simulator.h"
+#include "src/store/hash_ring.h"
+#include "src/store/versioned_store.h"
+
+namespace eunomia::geo {
+
+// Scalar stamp adapter for the multi-version store.
+struct ScalarStamp {
+  Timestamp ts = 0;
+  Timestamp TotalOrderKey() const { return ts; }
+};
+
+class GentleRainSystem final : public GeoSystem {
+ public:
+  GentleRainSystem(sim::Simulator* sim, GeoConfig config);
+
+  std::string name() const override { return "GentleRain"; }
+
+  void ClientRead(ClientId client, DatacenterId dc, Key key,
+                  std::function<void()> done) override;
+  void ClientUpdate(ClientId client, DatacenterId dc, Key key, Value value,
+                    std::function<void()> done) override;
+
+  VisibilityTracker& tracker() override { return tracker_; }
+
+  Timestamp GstAt(DatacenterId dc, PartitionId partition) const {
+    return dcs_[dc].partitions[partition].gst;
+  }
+
+ private:
+  struct PendingVisibility {
+    std::uint64_t uid = 0;
+    Timestamp ts = 0;
+  };
+
+  struct Partition {
+    PartitionId id = 0;
+    DatacenterId dc = 0;
+    sim::Server* server = nullptr;
+    sim::EndpointId endpoint = 0;
+    PhysicalClock clock;
+    Timestamp max_ts = 0;  // local monotonicity guard
+    store::MultiVersionStore<ScalarStamp> store;
+    std::vector<Timestamp> version_vector;  // latest heard per DC
+    Timestamp gst = 0;
+    std::vector<PendingVisibility> pending;  // remote updates awaiting GST
+  };
+
+  struct Datacenter {
+    DatacenterId id = 0;
+    std::vector<std::unique_ptr<sim::Server>> servers;
+    std::vector<Partition> partitions;
+    sim::EndpointId aggregator_endpoint = 0;
+    std::vector<Timestamp> partition_reports;
+    std::uint32_t reports_outstanding = 0;  // once-per-round broadcast gate
+  };
+
+  void ScheduleHeartbeats(DatacenterId dc, PartitionId p);
+  void ScheduleGstRound(DatacenterId dc);
+  void AdvanceGst(Partition& part, Timestamp gst);
+  void DeliverRemote(DatacenterId dc, PartitionId p, std::uint64_t uid, Key key,
+                     Value value, Timestamp ts, DatacenterId origin);
+
+  sim::Simulator* sim_;
+  GeoConfig config_;
+  sim::Network network_;
+  store::ConsistentHashRing router_;
+  std::vector<Datacenter> dcs_;
+  std::unordered_map<ClientId, Timestamp> sessions_;  // scalar dependency clock
+  VisibilityTracker tracker_;
+};
+
+}  // namespace eunomia::geo

@@ -1,0 +1,39 @@
+// Common interface of every simulated geo-replicated storage system.
+//
+// The workload driver (src/workload) talks to this interface only, so the
+// same closed-loop clients exercise EunomiaKV, the sequencer variants,
+// GentleRain, Cure and the eventually consistent baseline — mirroring how
+// the paper implements all competitors "using the codebase of EunomiaKV"
+// so differences come from the protocols alone (§7.2).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/georep/visibility.h"
+
+namespace eunomia::geo {
+
+class GeoSystem {
+ public:
+  virtual ~GeoSystem() = default;
+
+  virtual std::string name() const = 0;
+
+  // Issues a read for `key` by client `client` attached to datacenter `dc`;
+  // `done` runs when the client receives the reply.
+  virtual void ClientRead(ClientId client, DatacenterId dc, Key key,
+                          std::function<void()> done) = 0;
+
+  // Issues an update; same completion contract.
+  virtual void ClientUpdate(ClientId client, DatacenterId dc, Key key,
+                            Value value, std::function<void()> done) = 0;
+
+  virtual VisibilityTracker& tracker() = 0;
+  const VisibilityTracker& tracker() const {
+    return const_cast<GeoSystem*>(this)->tracker();
+  }
+};
+
+}  // namespace eunomia::geo

@@ -1,0 +1,33 @@
+// Wire representation of a replicated update.
+//
+// With the data/metadata separation of §5, the payload (key + value) and the
+// ordering metadata (uid + vector timestamp) may travel on different paths:
+// partitions ship payloads directly to their siblings with no ordering
+// constraints, while Eunomia ships metadata in stabilization order. The
+// receiver matches the two by uid.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.h"
+#include "src/georep/vclock.h"
+
+namespace eunomia::geo {
+
+struct RemoteUpdate {
+  std::uint64_t uid = 0;       // unique update id (u.id in §5)
+  Key key = 0;
+  VectorTimestamp vts;         // u.vts — entry per datacenter
+  DatacenterId origin = 0;     // k, the originating datacenter
+  PartitionId partition = 0;   // sibling partition responsible for key
+};
+
+struct RemotePayload {
+  std::uint64_t uid = 0;
+  Key key = 0;
+  Value value;
+  VectorTimestamp vts;
+  DatacenterId origin = 0;
+};
+
+}  // namespace eunomia::geo

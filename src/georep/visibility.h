@@ -1,0 +1,169 @@
+// Instrumentation shared by every simulated geo-replicated system.
+//
+// The paper's quality-of-service metric is the *remote update visibility
+// latency*: for EunomiaKV, "the time interval between the data arrival and
+// the instant in which the update is executed at the responsible partition";
+// for GentleRain/Cure, between the arrival of the remote operation at the
+// partition and the moment the global stabilization procedure allows its
+// visibility. Both definitions factor out the (identical) network latency,
+// so the numbers capture only the artificial delay added by each metadata
+// management strategy (§7.2.2). This tracker implements exactly that
+// bookkeeping, plus op-completion counters for throughput.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/types.h"
+
+namespace eunomia::geo {
+
+class VisibilityTracker {
+ public:
+  // window_us controls the throughput / latency timeline resolution.
+  explicit VisibilityTracker(std::uint64_t window_us = 1'000'000)
+      : window_us_(window_us), throughput_(window_us) {}
+
+  // --- update lifecycle ------------------------------------------------------
+
+  // Called at the origin when the update is installed locally. Returns the
+  // globally unique update id used on the wire.
+  std::uint64_t OnInstalled(DatacenterId origin, std::uint64_t t_us) {
+    const std::uint64_t uid = next_uid_++;
+    installed_[uid] = {origin, t_us};
+    return uid;
+  }
+
+  // Remote data (the update payload) arrived at datacenter dc.
+  void OnRemoteArrival(std::uint64_t uid, DatacenterId dc, std::uint64_t t_us) {
+    arrivals_[PackKey(uid, dc)] = t_us;
+  }
+
+  // Enables per-update bookkeeping of visible times (used by tests that
+  // assert causal visibility ordering). Off by default to keep long
+  // benchmark runs lean.
+  void EnableDetailedLog() { detailed_ = true; }
+
+  // Visible time of `uid` at `dc`, if recorded (requires EnableDetailedLog).
+  std::optional<std::uint64_t> VisibleAt(std::uint64_t uid, DatacenterId dc) const {
+    const auto it = visible_times_.find(PackKey(uid, dc));
+    return it == visible_times_.end() ? std::nullopt
+                                      : std::optional<std::uint64_t>(it->second);
+  }
+
+  // The update became visible (was executed / allowed by stabilization) at
+  // datacenter dc.
+  void OnRemoteVisible(std::uint64_t uid, DatacenterId dc, std::uint64_t t_us) {
+    if (detailed_) {
+      visible_times_[PackKey(uid, dc)] = t_us;
+    }
+    const auto inst = installed_.find(uid);
+    if (inst == installed_.end()) {
+      return;
+    }
+    const DatacenterId origin = inst->second.first;
+    const auto arr = arrivals_.find(PackKey(uid, dc));
+    const std::uint64_t arrival =
+        arr != arrivals_.end() ? arr->second : inst->second.second;
+    const std::uint64_t artificial = t_us >= arrival ? t_us - arrival : 0;
+    auto& cdf = visibility_[{origin, dc}];
+    cdf.Add(static_cast<double>(artificial));
+    auto& timeline = visibility_timeline_[{origin, dc}];
+    if (!timeline) {
+      timeline = std::make_unique<TimeSeries>(window_us_);
+    }
+    timeline->RecordValue(t_us, static_cast<double>(artificial));
+    if (arr != arrivals_.end()) {
+      arrivals_.erase(arr);
+    }
+  }
+
+  // --- client-op accounting --------------------------------------------------
+
+  void OnOpComplete(DatacenterId dc, bool is_update, std::uint64_t t_us,
+                    std::uint64_t latency_us) {
+    (void)dc;
+    if (is_update) {
+      ++updates_completed_;
+      update_latency_.Record(latency_us);
+    } else {
+      ++reads_completed_;
+      read_latency_.Record(latency_us);
+    }
+    throughput_.Record(t_us);
+  }
+
+  // --- results ----------------------------------------------------------------
+
+  std::uint64_t reads_completed() const { return reads_completed_; }
+  std::uint64_t updates_completed() const { return updates_completed_; }
+  std::uint64_t ops_completed() const { return reads_completed_ + updates_completed_; }
+
+  // Completed ops per second over [from_us, to_us) — the steady-state window
+  // (the paper drops the first and last minute of each run).
+  double Throughput(std::uint64_t from_us, std::uint64_t to_us) const {
+    if (to_us <= from_us) {
+      return 0.0;
+    }
+    const auto rates = throughput_.Rates();
+    const std::size_t first = static_cast<std::size_t>(from_us / window_us_);
+    const std::size_t last = static_cast<std::size_t>(to_us / window_us_);
+    double total = 0.0;
+    std::size_t windows = 0;
+    for (std::size_t i = first; i < last && i < rates.size(); ++i) {
+      total += rates[i];
+      ++windows;
+    }
+    return windows == 0 ? 0.0 : total / static_cast<double>(windows);
+  }
+
+  const LatencyHistogram& read_latency() const { return read_latency_; }
+  const LatencyHistogram& update_latency() const { return update_latency_; }
+
+  // Artificial visibility delay CDF for updates originating at `origin`
+  // observed at `dest`; nullptr if no samples.
+  const Cdf* Visibility(DatacenterId origin, DatacenterId dest) const {
+    const auto it = visibility_.find({origin, dest});
+    return it == visibility_.end() ? nullptr : &it->second;
+  }
+
+  // Mean artificial delay per time window (Fig. 7 timelines).
+  const TimeSeries* VisibilityTimeline(DatacenterId origin, DatacenterId dest) const {
+    const auto it = visibility_timeline_.find({origin, dest});
+    return it == visibility_timeline_.end() ? nullptr : it->second.get();
+  }
+
+  const TimeSeries& throughput_timeline() const { return throughput_; }
+
+  // Updates installed but never observed as visible at `dest` (sanity check:
+  // should be only the tail in flight at the end of a run).
+  std::size_t PendingArrivals() const { return arrivals_.size(); }
+
+ private:
+  static std::uint64_t PackKey(std::uint64_t uid, DatacenterId dc) {
+    return uid * 64 + dc;  // uids are dense, dc < 64
+  }
+
+  std::uint64_t window_us_;
+  std::uint64_t next_uid_ = 0;
+  bool detailed_ = false;
+  std::unordered_map<std::uint64_t, std::uint64_t> visible_times_;
+  std::unordered_map<std::uint64_t, std::pair<DatacenterId, std::uint64_t>> installed_;
+  std::unordered_map<std::uint64_t, std::uint64_t> arrivals_;
+  std::map<std::pair<DatacenterId, DatacenterId>, Cdf> visibility_;
+  std::map<std::pair<DatacenterId, DatacenterId>, std::unique_ptr<TimeSeries>>
+      visibility_timeline_;
+  std::uint64_t reads_completed_ = 0;
+  std::uint64_t updates_completed_ = 0;
+  LatencyHistogram read_latency_;
+  LatencyHistogram update_latency_;
+  TimeSeries throughput_;
+};
+
+}  // namespace eunomia::geo

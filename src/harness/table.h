@@ -1,0 +1,37 @@
+// Fixed-width table printing for the benchmark binaries.
+//
+// Every bench target prints the rows/series of the paper figure it
+// reproduces in a plain-text table (plus an optional CSV block for easy
+// plotting), so `for b in build/bench/*; do $b; done` regenerates the whole
+// evaluation on stdout.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace eunomia::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment to stdout.
+  void Print() const;
+  // Renders a CSV block (comma-separated, one line per row).
+  void PrintCsv() const;
+
+  static std::string Num(double v, int precision = 1);
+  static std::string Pct(double v, int precision = 1);  // e.g. "-4.7%"
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner for bench output.
+void PrintBanner(const std::string& title, const std::string& subtitle = "");
+
+}  // namespace eunomia::harness

@@ -1,0 +1,278 @@
+// AVL tree with the same interface as RedBlackTree.
+//
+// The paper (§6) notes that "the red-black tree turned out to be more
+// efficient than other self-balancing binary search trees such as AVL
+// trees" for Eunomia's insert/extract-heavy workload. We keep a from-scratch
+// AVL implementation so that `bench/ablation_ordered_buffer` can reproduce
+// that design-choice comparison.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace eunomia {
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class AvlTree {
+ private:
+  struct Node {
+    Key key;
+    Value value;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int height = 1;
+  };
+
+ public:
+  AvlTree() = default;
+  AvlTree(const AvlTree&) = delete;
+  AvlTree& operator=(const AvlTree&) = delete;
+  AvlTree(AvlTree&& other) noexcept
+      : root_(other.root_), size_(other.size_), cmp_(other.cmp_) {
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  AvlTree& operator=(AvlTree&& other) noexcept {
+    if (this != &other) {
+      Clear();
+      root_ = other.root_;
+      size_ = other.size_;
+      cmp_ = other.cmp_;
+      other.root_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  ~AvlTree() { Clear(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool Insert(const Key& key, Value value) {
+    bool inserted = false;
+    root_ = InsertImpl(root_, key, std::move(value), &inserted);
+    if (inserted) {
+      ++size_;
+    }
+    return inserted;
+  }
+
+  Value* Find(const Key& key) {
+    Node* cur = root_;
+    while (cur != nullptr) {
+      if (cmp_(key, cur->key)) {
+        cur = cur->left;
+      } else if (cmp_(cur->key, key)) {
+        cur = cur->right;
+      } else {
+        return &cur->value;
+      }
+    }
+    return nullptr;
+  }
+  const Value* Find(const Key& key) const {
+    return const_cast<AvlTree*>(this)->Find(key);
+  }
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  bool Erase(const Key& key) {
+    bool erased = false;
+    root_ = EraseImpl(root_, key, &erased);
+    if (erased) {
+      --size_;
+    }
+    return erased;
+  }
+
+  const Key& MinKey() const {
+    assert(!empty());
+    const Node* cur = root_;
+    while (cur->left != nullptr) {
+      cur = cur->left;
+    }
+    return cur->key;
+  }
+
+  std::size_t ExtractUpTo(const Key& bound, std::vector<std::pair<Key, Value>>* out) {
+    std::size_t extracted = 0;
+    while (root_ != nullptr) {
+      Node* min = root_;
+      while (min->left != nullptr) {
+        min = min->left;
+      }
+      if (cmp_(bound, min->key)) {
+        break;
+      }
+      out->emplace_back(min->key, std::move(min->value));
+      bool erased = false;
+      root_ = EraseImpl(root_, out->back().first, &erased);
+      assert(erased);
+      --size_;
+      ++extracted;
+    }
+    return extracted;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    ForEachImpl(root_, fn);
+  }
+
+  void Clear() {
+    ClearImpl(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  // Checks the AVL balance and BST order invariants.
+  bool Validate() const { return ValidateImpl(root_).ok; }
+
+ private:
+  static int HeightOf(const Node* n) { return n == nullptr ? 0 : n->height; }
+
+  static void Update(Node* n) {
+    n->height = 1 + std::max(HeightOf(n->left), HeightOf(n->right));
+  }
+
+  static int Balance(const Node* n) {
+    return n == nullptr ? 0 : HeightOf(n->left) - HeightOf(n->right);
+  }
+
+  static Node* RotateRight(Node* y) {
+    Node* x = y->left;
+    y->left = x->right;
+    x->right = y;
+    Update(y);
+    Update(x);
+    return x;
+  }
+
+  static Node* RotateLeft(Node* x) {
+    Node* y = x->right;
+    x->right = y->left;
+    y->left = x;
+    Update(x);
+    Update(y);
+    return y;
+  }
+
+  static Node* Rebalance(Node* node) {
+    Update(node);
+    const int balance = Balance(node);
+    if (balance > 1) {
+      if (Balance(node->left) < 0) {
+        node->left = RotateLeft(node->left);
+      }
+      return RotateRight(node);
+    }
+    if (balance < -1) {
+      if (Balance(node->right) > 0) {
+        node->right = RotateRight(node->right);
+      }
+      return RotateLeft(node);
+    }
+    return node;
+  }
+
+  Node* InsertImpl(Node* node, const Key& key, Value&& value, bool* inserted) {
+    if (node == nullptr) {
+      *inserted = true;
+      return new Node{key, std::move(value)};
+    }
+    if (cmp_(key, node->key)) {
+      node->left = InsertImpl(node->left, key, std::move(value), inserted);
+    } else if (cmp_(node->key, key)) {
+      node->right = InsertImpl(node->right, key, std::move(value), inserted);
+    } else {
+      return node;  // duplicate
+    }
+    return Rebalance(node);
+  }
+
+  Node* EraseImpl(Node* node, const Key& key, bool* erased) {
+    if (node == nullptr) {
+      return nullptr;
+    }
+    if (cmp_(key, node->key)) {
+      node->left = EraseImpl(node->left, key, erased);
+    } else if (cmp_(node->key, key)) {
+      node->right = EraseImpl(node->right, key, erased);
+    } else {
+      *erased = true;
+      if (node->left == nullptr || node->right == nullptr) {
+        Node* child = node->left != nullptr ? node->left : node->right;
+        delete node;
+        return child;  // child may be null
+      }
+      // Two children: replace with in-order successor, then erase it below.
+      Node* succ = node->right;
+      while (succ->left != nullptr) {
+        succ = succ->left;
+      }
+      node->key = succ->key;
+      node->value = std::move(succ->value);
+      bool dummy = false;
+      node->right = EraseImpl(node->right, succ->key, &dummy);
+    }
+    return Rebalance(node);
+  }
+
+  template <typename Fn>
+  void ForEachImpl(const Node* node, Fn& fn) const {
+    if (node == nullptr) {
+      return;
+    }
+    ForEachImpl(node->left, fn);
+    fn(node->key, node->value);
+    ForEachImpl(node->right, fn);
+  }
+
+  void ClearImpl(Node* node) {
+    if (node == nullptr) {
+      return;
+    }
+    ClearImpl(node->left);
+    ClearImpl(node->right);
+    delete node;
+  }
+
+  struct ValidationResult {
+    bool ok;
+    int height;
+    const Key* min;
+    const Key* max;
+  };
+
+  ValidationResult ValidateImpl(const Node* node) const {
+    if (node == nullptr) {
+      return {true, 0, nullptr, nullptr};
+    }
+    const auto left = ValidateImpl(node->left);
+    const auto right = ValidateImpl(node->right);
+    if (!left.ok || !right.ok) {
+      return {false, 0, nullptr, nullptr};
+    }
+    if (left.max != nullptr && !cmp_(*left.max, node->key)) {
+      return {false, 0, nullptr, nullptr};
+    }
+    if (right.min != nullptr && !cmp_(node->key, *right.min)) {
+      return {false, 0, nullptr, nullptr};
+    }
+    const int height = 1 + std::max(left.height, right.height);
+    if (std::abs(left.height - right.height) > 1 || height != node->height) {
+      return {false, 0, nullptr, nullptr};
+    }
+    return {true, height, left.min != nullptr ? left.min : &node->key,
+            right.max != nullptr ? right.max : &node->key};
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  Compare cmp_;
+};
+
+}  // namespace eunomia

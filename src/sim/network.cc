@@ -1,0 +1,98 @@
+#include "src/sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace eunomia::sim {
+
+NetworkConfig PaperTopology() {
+  NetworkConfig config;
+  config.intra_dc_one_way_us = 150;
+  config.wan_one_way_us = {
+      {0, 40 * kMillisecond, 40 * kMillisecond},
+      {40 * kMillisecond, 0, 80 * kMillisecond},
+      {40 * kMillisecond, 80 * kMillisecond, 0},
+  };
+  config.jitter = 0.02;
+  return config;
+}
+
+Network::Network(Simulator* sim, NetworkConfig config)
+    : sim_(sim), config_(std::move(config)) {}
+
+EndpointId Network::Register(DatacenterId dc) {
+  endpoint_dc_.push_back(dc);
+  return static_cast<EndpointId>(endpoint_dc_.size() - 1);
+}
+
+SimTime Network::BaseLatency(EndpointId src, EndpointId dst) const {
+  assert(src < endpoint_dc_.size() && dst < endpoint_dc_.size());
+  const DatacenterId sdc = endpoint_dc_[src];
+  const DatacenterId ddc = endpoint_dc_[dst];
+  if (sdc == ddc) {
+    return config_.intra_dc_one_way_us;
+  }
+  assert(sdc < config_.wan_one_way_us.size() &&
+         ddc < config_.wan_one_way_us[sdc].size() &&
+         "WAN latency matrix does not cover this datacenter pair");
+  return config_.wan_one_way_us[sdc][ddc];
+}
+
+SimTime Network::SampleLatency(EndpointId src, EndpointId dst,
+                               const ChannelState& ch) {
+  SimTime base = BaseLatency(src, dst) + ch.extra_delay;
+  if (config_.jitter > 0.0) {
+    const double factor =
+        1.0 + config_.jitter * (2.0 * sim_->rng().NextDouble() - 1.0);
+    base = static_cast<SimTime>(static_cast<double>(base) * factor);
+  }
+  return std::max<SimTime>(base, 1);
+}
+
+void Network::Deliver(ChannelState* ch, SimTime latency,
+                      std::function<void()> deliver) {
+  // FIFO: never deliver before the previous message on this channel.
+  SimTime at = sim_->now() + latency;
+  at = std::max(at, ch->last_delivery);
+  ch->last_delivery = at;
+  sim_->ScheduleAt(at, std::move(deliver));
+}
+
+void Network::Send(EndpointId src, EndpointId dst,
+                   std::function<void()> deliver) {
+  ChannelState& ch = channels_[{src, dst}];
+  ++messages_sent_;
+  if (ch.down || (ch.drop_probability > 0.0 &&
+                  sim_->rng().NextBool(ch.drop_probability))) {
+    ++messages_dropped_;
+    return;
+  }
+  const bool duplicate = ch.duplicate_probability > 0.0 &&
+                         sim_->rng().NextBool(ch.duplicate_probability);
+  const SimTime latency = SampleLatency(src, dst, ch);
+  if (duplicate) {
+    auto copy = deliver;
+    Deliver(&ch, latency, std::move(copy));
+    Deliver(&ch, SampleLatency(src, dst, ch), std::move(deliver));
+  } else {
+    Deliver(&ch, latency, std::move(deliver));
+  }
+}
+
+void Network::SetDropProbability(EndpointId src, EndpointId dst, double p) {
+  channels_[{src, dst}].drop_probability = p;
+}
+
+void Network::SetDuplicateProbability(EndpointId src, EndpointId dst, double p) {
+  channels_[{src, dst}].duplicate_probability = p;
+}
+
+void Network::SetLinkDown(EndpointId src, EndpointId dst, bool down) {
+  channels_[{src, dst}].down = down;
+}
+
+void Network::SetExtraDelay(EndpointId src, EndpointId dst, SimTime extra_us) {
+  channels_[{src, dst}].extra_delay = extra_us;
+}
+
+}  // namespace eunomia::sim

@@ -1,0 +1,101 @@
+// Simulated network with per-channel FIFO delivery.
+//
+// Models the paper's deployment assumptions:
+//   - "We assume FIFO links among partitions and Eunomia" (§3.1) and
+//     "FIFO links between datacenters" (§4): every (src, dst) endpoint pair
+//     is a FIFO channel — a message is never delivered before an earlier
+//     message on the same channel, even under jitter.
+//   - WAN latencies are an inter-datacenter one-way latency matrix; the
+//     default topology helper reproduces the paper's emulated RTTs
+//     (80 ms dc0<->dc1, 80 ms dc0<->dc2, 160 ms dc1<->dc2 — approximately
+//     Virginia / Oregon / Ireland on EC2).
+//   - Fault injection: per-channel message drop and duplication
+//     probabilities (the fault-tolerant Eunomia protocol of §3.3 only needs
+//     at-least-once delivery, which the tests verify under loss), and
+//     link up/down control.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace eunomia::sim {
+
+using EndpointId = std::uint32_t;
+
+struct NetworkConfig {
+  // One-way latency between endpoints in the same datacenter.
+  SimTime intra_dc_one_way_us = 150;
+  // Symmetric inter-datacenter one-way latency matrix; entry [i][j] is the
+  // one-way delay between a node in DC i and a node in DC j. Diagonal
+  // entries are ignored (intra-DC latency applies).
+  std::vector<std::vector<SimTime>> wan_one_way_us;
+  // Uniform jitter: each message latency is multiplied by a factor drawn
+  // from [1 - jitter, 1 + jitter].
+  double jitter = 0.0;
+};
+
+// The paper's 3-DC topology: RTTs 80/80/160 ms => one-way 40/40/80 ms.
+NetworkConfig PaperTopology();
+
+class Network {
+ public:
+  Network(Simulator* sim, NetworkConfig config);
+
+  // Registers an endpoint living in the given datacenter.
+  EndpointId Register(DatacenterId dc);
+
+  DatacenterId DatacenterOf(EndpointId ep) const { return endpoint_dc_[ep]; }
+  std::size_t num_endpoints() const { return endpoint_dc_.size(); }
+
+  // Sends a message from src to dst; `deliver` runs at the destination when
+  // the message arrives. FIFO per (src, dst) channel.
+  void Send(EndpointId src, EndpointId dst, std::function<void()> deliver);
+
+  // One-way latency that the next message on (src, dst) would base on
+  // (before jitter / FIFO clamping). Exposed for tests and the harness.
+  SimTime BaseLatency(EndpointId src, EndpointId dst) const;
+
+  // --- fault injection -----------------------------------------------------
+  // Probability in [0, 1] that a message on (src, dst) is silently dropped.
+  void SetDropProbability(EndpointId src, EndpointId dst, double p);
+  // Probability in [0, 1] that a message is delivered twice (second copy
+  // re-jittered, still FIFO-clamped).
+  void SetDuplicateProbability(EndpointId src, EndpointId dst, double p);
+  // Cuts / restores a directed link entirely.
+  void SetLinkDown(EndpointId src, EndpointId dst, bool down);
+  // Adds a constant extra delay on a directed channel (models a congested
+  // or degraded path).
+  void SetExtraDelay(EndpointId src, EndpointId dst, SimTime extra_us);
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  using Channel = std::pair<EndpointId, EndpointId>;
+
+  struct ChannelState {
+    SimTime last_delivery = 0;
+    double drop_probability = 0.0;
+    double duplicate_probability = 0.0;
+    bool down = false;
+    SimTime extra_delay = 0;
+  };
+
+  SimTime SampleLatency(EndpointId src, EndpointId dst, const ChannelState& ch);
+  void Deliver(ChannelState* ch, SimTime latency, std::function<void()> deliver);
+
+  Simulator* sim_;
+  NetworkConfig config_;
+  std::vector<DatacenterId> endpoint_dc_;
+  std::map<Channel, ChannelState> channels_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace eunomia::sim

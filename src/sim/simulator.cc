@@ -1,0 +1,50 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace eunomia::sim {
+
+void Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::ScheduleCancelable(SimTime delay, const TimerToken& token,
+                                   std::function<void()> fn) {
+  ScheduleAt(now_ + delay,
+             [flag = token.flag(), fn = std::move(fn)]() {
+               if (*flag) {
+                 fn();
+               }
+             });
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  // Copy out before pop: the handler may schedule new events.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Step();
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+}
+
+void Simulator::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+}  // namespace eunomia::sim

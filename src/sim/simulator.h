@@ -1,0 +1,98 @@
+// Deterministic discrete-event simulator.
+//
+// This substrate stands in for the paper's testbed (3 datacenters of VMs
+// with netem-emulated WAN latencies, §7). All protocol logic runs unchanged
+// on top of it; the simulator supplies virtual time, an event queue with a
+// stable total order (ties broken by insertion sequence, so runs replay
+// bit-for-bit), and a seeded RNG tree for every stochastic decision.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "src/common/random.h"
+
+namespace eunomia::sim {
+
+// Virtual time in microseconds since the start of the run.
+using SimTime = std::uint64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * 1000;
+
+// Handle that allows cancelling a scheduled event (used by protocol timers
+// that are torn down when a simulated process crashes).
+class TimerToken {
+ public:
+  TimerToken() : alive_(std::make_shared<bool>(true)) {}
+  void Cancel() { *alive_ = false; }
+  bool active() const { return *alive_; }
+  std::shared_ptr<const bool> flag() const { return alive_; }
+
+ private:
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules fn at absolute virtual time t (>= now).
+  void ScheduleAt(SimTime t, std::function<void()> fn);
+
+  // Schedules fn `delay` microseconds from now.
+  void ScheduleAfter(SimTime delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  // Schedules fn at now + delay, but only runs it if the token is still
+  // active at fire time.
+  void ScheduleCancelable(SimTime delay, const TimerToken& token,
+                          std::function<void()> fn);
+
+  // Executes the next event; returns false if the queue is empty.
+  bool Step();
+
+  // Runs until the queue drains or virtual time would pass `until`.
+  // Events scheduled exactly at `until` are executed.
+  void RunUntil(SimTime until);
+
+  // Runs until no events remain.
+  void RunUntilIdle();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Rng rng_;
+};
+
+}  // namespace eunomia::sim

@@ -1,0 +1,38 @@
+// Client-side session state — Algorithm 1 of the paper.
+//
+// A client maintains Clock_c, "the largest timestamp seen during its
+// session", which aggregates its causal history into a single scalar:
+//   - READ merges the returned version timestamp (Alg. 1 line 4);
+//   - UPDATE replaces the clock with the returned update timestamp
+//     (Alg. 1 line 9), which the partition guarantees to dominate it.
+// The geo-replicated variant (vector clock per Table 2) lives in
+// src/georep/vclock.h.
+#pragma once
+
+#include <algorithm>
+
+#include "src/common/types.h"
+
+namespace eunomia::store {
+
+class ClientSession {
+ public:
+  explicit ClientSession(ClientId id = 0) : id_(id) {}
+
+  ClientId id() const { return id_; }
+  Timestamp clock() const { return clock_; }
+
+  // Alg. 1 line 4: after a read returning version timestamp ts.
+  void OnRead(Timestamp ts) { clock_ = std::max(clock_, ts); }
+
+  // Alg. 1 line 9: after an update acknowledged with timestamp ts. The
+  // partition guarantees ts > clock_; we assert-by-max anyway so a buggy
+  // server cannot move the session backwards.
+  void OnUpdate(Timestamp ts) { clock_ = std::max(clock_, ts); }
+
+ private:
+  ClientId id_;
+  Timestamp clock_ = 0;
+};
+
+}  // namespace eunomia::store

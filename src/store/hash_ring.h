@@ -1,0 +1,93 @@
+// Key -> partition routing.
+//
+// Riak KV partitions its key space with a consistent-hash ring; the protocol
+// description in the paper only requires that "the key-space is divided into
+// N partitions distributed among datacenter machines" and that sibling
+// partitions across datacenters own the same keys. We provide the Riak-style
+// consistent-hash ring (virtual-node based, so adding partitions moves
+// O(1/N) of the keys) and a trivial modulo router for tests that want exact
+// control over placement.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace eunomia::store {
+
+// Deterministic 64-bit mix (SplitMix64 finalizer) used as the ring hash.
+inline std::uint64_t MixHash(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+class KeyRouter {
+ public:
+  virtual ~KeyRouter() = default;
+  virtual PartitionId Responsible(Key key) const = 0;
+  virtual std::uint32_t num_partitions() const = 0;
+};
+
+class ModRouter final : public KeyRouter {
+ public:
+  explicit ModRouter(std::uint32_t num_partitions)
+      : num_partitions_(num_partitions == 0 ? 1 : num_partitions) {}
+
+  PartitionId Responsible(Key key) const override {
+    return static_cast<PartitionId>(MixHash(key) % num_partitions_);
+  }
+  std::uint32_t num_partitions() const override { return num_partitions_; }
+
+ private:
+  std::uint32_t num_partitions_;
+};
+
+class ConsistentHashRing final : public KeyRouter {
+ public:
+  // vnodes_per_partition: virtual nodes per partition; 64 gives < ~15% load
+  // imbalance, plenty for the simulator.
+  explicit ConsistentHashRing(std::uint32_t num_partitions,
+                              std::uint32_t vnodes_per_partition = 64)
+      : num_partitions_(num_partitions == 0 ? 1 : num_partitions) {
+    ring_.reserve(static_cast<std::size_t>(num_partitions_) * vnodes_per_partition);
+    for (std::uint32_t p = 0; p < num_partitions_; ++p) {
+      for (std::uint32_t v = 0; v < vnodes_per_partition; ++v) {
+        const std::uint64_t point =
+            MixHash((static_cast<std::uint64_t>(p) << 32) | (v + 1));
+        ring_.push_back({point, p});
+      }
+    }
+    std::sort(ring_.begin(), ring_.end());
+  }
+
+  PartitionId Responsible(Key key) const override {
+    const std::uint64_t h = MixHash(key ^ 0x5bf03635ULL);
+    auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                               std::pair<std::uint64_t, PartitionId>{h, 0});
+    if (it == ring_.end()) {
+      it = ring_.begin();  // wrap around
+    }
+    return it->second;
+  }
+
+  std::uint32_t num_partitions() const override { return num_partitions_; }
+
+ private:
+  std::uint32_t num_partitions_;
+  std::vector<std::pair<std::uint64_t, PartitionId>> ring_;
+};
+
+// Balanced partition -> server placement: Riak spreads logical partitions
+// round-robin over the physical servers of a cluster (the paper deploys 8
+// logical partitions over 3 servers per datacenter).
+inline std::uint32_t ServerOfPartition(PartitionId partition, std::uint32_t num_servers) {
+  return num_servers == 0 ? 0 : partition % num_servers;
+}
+
+}  // namespace eunomia::store

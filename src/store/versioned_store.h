@@ -1,0 +1,169 @@
+// Versioned key-value storage substrates.
+//
+// The paper's prototype is a variant of Riak KV; the protocols need two
+// storage disciplines from it:
+//
+//   - ScalarStore: one version per key tagged with a scalar timestamp and
+//     origin datacenter. Used by EunomiaKV, the sequencer systems and the
+//     eventual baseline, where the replication layer already delivers
+//     updates in a causally safe order and conflicting concurrent writes
+//     resolve last-writer-wins on (timestamp, origin).
+//
+//   - MultiVersionStore<Stamp>: a short version chain per key with
+//     predicate-based visibility. Used by GentleRain and Cure, which apply
+//     remote updates immediately but only make them *visible* once the
+//     global stabilization procedure (GST / GSS) has caught up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace eunomia::store {
+
+// --- single-version, last-writer-wins store ---------------------------------
+
+struct ScalarVersion {
+  Value value;
+  Timestamp ts = 0;
+  DatacenterId origin = 0;
+};
+
+class ScalarStore {
+ public:
+  // Applies a write with LWW arbitration on (ts, origin). Returns true if
+  // the write became the current version.
+  bool Put(Key key, Value value, Timestamp ts, DatacenterId origin) {
+    auto [it, inserted] = map_.try_emplace(key);
+    ScalarVersion& cur = it->second;
+    if (!inserted && (cur.ts > ts || (cur.ts == ts && cur.origin > origin))) {
+      return false;  // existing version wins
+    }
+    cur.value = std::move(value);
+    cur.ts = ts;
+    cur.origin = origin;
+    return true;
+  }
+
+  // Returns the current version, or nullptr if the key was never written.
+  const ScalarVersion* Get(Key key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+  // Iteration for the convergence checker.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, version] : map_) {
+      fn(key, version);
+    }
+  }
+
+ private:
+  std::unordered_map<Key, ScalarVersion> map_;
+};
+
+// --- multi-version store with predicate visibility ---------------------------
+
+// Stamp must provide a TotalOrderKey() usable with operator< for LWW
+// arbitration among visible versions; see gentlerain/ and cure/ for the two
+// instantiations.
+template <typename Stamp>
+class MultiVersionStore {
+ public:
+  struct Version {
+    Value value;
+    Stamp stamp;
+    DatacenterId origin = 0;
+    bool local = false;  // locally created versions are always visible
+  };
+
+  void Put(Key key, Value value, Stamp stamp, DatacenterId origin, bool local) {
+    auto& chain = map_[key];
+    chain.push_back(Version{std::move(value), std::move(stamp), origin, local});
+  }
+
+  // Newest (by Stamp total order, then origin) version that is either local
+  // or satisfies `visible`. Returns nullptr if none qualifies.
+  template <typename Predicate>
+  const Version* Get(Key key, Predicate&& visible) const {
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      return nullptr;
+    }
+    const Version* best = nullptr;
+    for (const Version& v : it->second) {
+      if (!v.local && !visible(v.stamp)) {
+        continue;
+      }
+      if (best == nullptr || Less(*best, v)) {
+        best = &v;
+      }
+    }
+    return best;
+  }
+
+  // Garbage-collects versions dominated by a newer version that is already
+  // visible (they can never be read again). Keeps chains short in long runs.
+  template <typename Predicate>
+  void Trim(Key key, Predicate&& visible) {
+    const auto it = map_.find(key);
+    if (it == map_.end() || it->second.size() <= 1) {
+      return;
+    }
+    auto& chain = it->second;
+    // Find the newest visible version.
+    const Version* newest_visible = nullptr;
+    for (const Version& v : chain) {
+      if ((v.local || visible(v.stamp)) &&
+          (newest_visible == nullptr || Less(*newest_visible, v))) {
+        newest_visible = &v;
+      }
+    }
+    if (newest_visible == nullptr) {
+      return;
+    }
+    std::vector<Version> kept;
+    kept.reserve(2);
+    for (Version& v : chain) {
+      if (&v == newest_visible || Less(*newest_visible, v)) {
+        kept.push_back(std::move(v));
+      }
+    }
+    chain = std::move(kept);
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+  std::size_t ChainLength(Key key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second.size();
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, chain] : map_) {
+      fn(key, chain);
+    }
+  }
+
+ private:
+  static bool Less(const Version& a, const Version& b) {
+    const auto ka = a.stamp.TotalOrderKey();
+    const auto kb = b.stamp.TotalOrderKey();
+    if (ka != kb) {
+      return ka < kb;
+    }
+    return a.origin < b.origin;
+  }
+
+  std::unordered_map<Key, std::vector<Version>> map_;
+};
+
+}  // namespace eunomia::store

@@ -1,0 +1,79 @@
+#include "src/workload/workload.h"
+
+#include <cassert>
+
+#include "src/store/hash_ring.h"
+
+namespace eunomia::wl {
+
+WorkloadDriver::WorkloadDriver(sim::Simulator* sim, geo::GeoSystem* system,
+                               WorkloadConfig config, std::uint32_t num_dcs)
+    : sim_(sim), system_(system), config_(config), num_dcs_(num_dcs) {
+  assert(num_dcs_ >= 1);
+  Rng root(config_.seed);
+  const std::uint32_t total = config_.clients_per_dc * num_dcs_;
+  clients_.reserve(total);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    Client c;
+    c.id = i + 1;
+    c.dc = i % num_dcs_;
+    c.rng = root.Fork(i);
+    clients_.push_back(std::move(c));
+  }
+  if (config_.distribution == KeyDistribution::kZipf) {
+    zipf_ = std::make_unique<ZipfGenerator>(config_.num_keys, config_.zipf_exponent);
+  }
+  value_template_.assign(config_.value_size, 'x');
+}
+
+Key WorkloadDriver::PickKey(Client& client) {
+  if (zipf_ != nullptr) {
+    // Scramble ranks so the hottest keys do not cluster on one partition
+    // (YCSB-style scrambled zipfian).
+    const std::uint64_t rank = zipf_->Sample(client.rng);
+    return store::MixHash(rank) % config_.num_keys;
+  }
+  return client.rng.NextBounded(config_.num_keys);
+}
+
+void WorkloadDriver::Start() {
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    // Stagger client starts across the first millisecond to avoid a
+    // synchronized thundering herd at t=0.
+    const std::uint64_t offset = clients_[i].rng.NextBounded(1000);
+    sim_->ScheduleAfter(offset, [this, i] { IssueNext(i); });
+  }
+}
+
+void WorkloadDriver::IssueNext(std::size_t client_index) {
+  if (stopped_ || sim_->now() >= config_.duration_us) {
+    return;
+  }
+  Client& client = clients_[client_index];
+  const Key key = PickKey(client);
+  const bool is_update = client.rng.NextBool(config_.update_fraction);
+  ++ops_issued_;
+  auto continuation = [this, client_index] {
+    if (config_.think_time_us > 0) {
+      sim_->ScheduleAfter(config_.think_time_us,
+                          [this, client_index] { IssueNext(client_index); });
+    } else {
+      IssueNext(client_index);
+    }
+  };
+  if (is_update) {
+    system_->ClientUpdate(client.id, client.dc, key, value_template_,
+                          std::move(continuation));
+  } else {
+    system_->ClientRead(client.id, client.dc, key, std::move(continuation));
+  }
+}
+
+std::string MixLabel(const WorkloadConfig& config) {
+  const int updates = static_cast<int>(config.update_fraction * 100.0 + 0.5);
+  std::string label = std::to_string(100 - updates) + ":" + std::to_string(updates);
+  label += config.distribution == KeyDistribution::kZipf ? " P" : " U";
+  return label;
+}
+
+}  // namespace eunomia::wl

@@ -1,0 +1,93 @@
+// Workload generation — the Basho Bench substitute (§7 "Workload Generator").
+//
+// Closed-loop clients, each attached to one datacenter, repeatedly draw an
+// operation (read or update by ratio), a key (uniform or power-law over the
+// key space), and a fixed-size opaque value, then issue the next operation
+// as soon as the previous completes (plus optional think time). The paper's
+// defaults: 100 k keys, 100-byte values, read:write ratios from 99:1 to
+// 50:50, uniform ("U") and power-law ("P") key distributions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/common/zipf.h"
+#include "src/georep/geo_system.h"
+#include "src/sim/simulator.h"
+
+namespace eunomia::wl {
+
+enum class KeyDistribution {
+  kUniform,
+  kZipf,  // "power-law" in the paper
+};
+
+struct WorkloadConfig {
+  std::uint64_t num_keys = 100'000;
+  double update_fraction = 0.10;  // 90:10 default
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  double zipf_exponent = 0.99;
+  std::uint32_t value_size = 100;
+  std::uint32_t clients_per_dc = 16;
+  std::uint64_t think_time_us = 0;  // closed loop when 0
+  std::uint64_t duration_us = 10 * sim::kSecond;
+  // Steady-state measurement window (the paper ignores the first and last
+  // minute of each run; scaled-down runs use proportional margins).
+  std::uint64_t warmup_us = 1 * sim::kSecond;
+  std::uint64_t cooldown_us = 1 * sim::kSecond;
+  std::uint64_t seed = 42;
+};
+
+// Drives a GeoSystem with closed-loop clients. Use:
+//   WorkloadDriver driver(&sim, system, config, num_dcs);
+//   driver.Start();
+//   sim.RunUntil(config.duration_us);
+class WorkloadDriver {
+ public:
+  WorkloadDriver(sim::Simulator* sim, geo::GeoSystem* system,
+                 WorkloadConfig config, std::uint32_t num_dcs);
+
+  void Start();
+  // Stops issuing new operations (in-flight ones complete).
+  void Stop() { stopped_ = true; }
+
+  std::uint64_t ops_issued() const { return ops_issued_; }
+  const WorkloadConfig& config() const { return config_; }
+
+  // Measurement window helpers.
+  std::uint64_t measure_from_us() const { return config_.warmup_us; }
+  std::uint64_t measure_to_us() const {
+    return config_.duration_us > config_.cooldown_us
+               ? config_.duration_us - config_.cooldown_us
+               : config_.duration_us;
+  }
+
+ private:
+  struct Client {
+    ClientId id = 0;
+    DatacenterId dc = 0;
+    Rng rng;
+  };
+
+  Key PickKey(Client& client);
+  void IssueNext(std::size_t client_index);
+
+  sim::Simulator* sim_;
+  geo::GeoSystem* system_;
+  WorkloadConfig config_;
+  std::uint32_t num_dcs_;
+  std::vector<Client> clients_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  Value value_template_;
+  bool stopped_ = false;
+  std::uint64_t ops_issued_ = 0;
+};
+
+// Human-readable mix label, e.g. "90:10 U" (Fig. 5 x-axis labels).
+std::string MixLabel(const WorkloadConfig& config);
+
+}  // namespace eunomia::wl

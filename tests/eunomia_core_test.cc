@@ -1,0 +1,232 @@
+// Tests for EunomiaCore — the site stabilization procedure (Algorithm 3) —
+// and its safety properties under randomized multi-partition streams.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/clock/hybrid_clock.h"
+#include "src/clock/physical_clock.h"
+#include "src/common/random.h"
+#include "src/eunomia/core.h"
+
+namespace eunomia {
+namespace {
+
+OpRecord Op(Timestamp ts, PartitionId p, Key key = 0, std::uint64_t tag = 0) {
+  return OpRecord{ts, p, key, tag};
+}
+
+TEST(EunomiaCoreTest, StableTimeIsZeroUntilAllPartitionsHeard) {
+  EunomiaCore core(3);
+  core.AddOp(Op(100, 0));
+  core.AddOp(Op(200, 1));
+  EXPECT_EQ(core.StableTime(), 0u);  // partition 2 silent
+  std::vector<OpRecord> out;
+  EXPECT_EQ(core.ProcessStable(&out), 0u);
+  core.Heartbeat(2, 150);
+  EXPECT_EQ(core.StableTime(), 100u);
+}
+
+TEST(EunomiaCoreTest, ProcessStableEmitsPrefixInTimestampOrder) {
+  EunomiaCore core(2);
+  core.AddOp(Op(50, 0, 1));
+  core.AddOp(Op(70, 0, 2));
+  core.AddOp(Op(60, 1, 3));
+  core.AddOp(Op(90, 1, 4));
+  // StableTime = min(70, 90) = 70: ops 50, 60, 70 are stable.
+  std::vector<OpRecord> out;
+  EXPECT_EQ(core.ProcessStable(&out), 3u);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].ts, 50u);
+  EXPECT_EQ(out[1].ts, 60u);
+  EXPECT_EQ(out[2].ts, 70u);
+  EXPECT_EQ(core.pending_ops(), 1u);
+}
+
+TEST(EunomiaCoreTest, HeartbeatsAdvanceStabilityWithoutOps) {
+  EunomiaCore core(2);
+  core.AddOp(Op(100, 0));
+  core.Heartbeat(1, 500);  // idle partition catches up via heartbeat
+  std::vector<OpRecord> out;
+  EXPECT_EQ(core.ProcessStable(&out), 1u);
+  EXPECT_EQ(out[0].ts, 100u);
+}
+
+TEST(EunomiaCoreTest, StaleHeartbeatIgnored) {
+  EunomiaCore core(1);
+  core.AddOp(Op(100, 0));
+  core.Heartbeat(0, 50);  // stale: must not move PartitionTime backwards
+  EXPECT_EQ(core.partition_time(0), 100u);
+}
+
+TEST(EunomiaCoreTest, NonMonotonicOpRejected) {
+  EunomiaCore core(1);
+  EXPECT_TRUE(core.AddOp(Op(100, 0)));
+  EXPECT_FALSE(core.AddOp(Op(100, 0)));  // equal: Property 2 violation
+  EXPECT_FALSE(core.AddOp(Op(50, 0)));   // smaller
+  EXPECT_EQ(core.monotonicity_violations(), 2u);
+  EXPECT_EQ(core.pending_ops(), 1u);
+}
+
+TEST(EunomiaCoreTest, EqualTimestampsAcrossPartitionsBothEmitted) {
+  // Concurrent updates on different partitions may share a timestamp; both
+  // are stable once every partition passed it, ordered by partition id.
+  EunomiaCore core(2);
+  core.AddOp(Op(100, 1, 11));
+  core.AddOp(Op(100, 0, 22));
+  std::vector<OpRecord> out;
+  EXPECT_EQ(core.ProcessStable(&out), 2u);
+  EXPECT_EQ(out[0].partition, 0u);
+  EXPECT_EQ(out[1].partition, 1u);
+}
+
+TEST(EunomiaCoreTest, EmissionNeverRegresses) {
+  EunomiaCore core(2);
+  core.AddOp(Op(10, 0));
+  core.AddOp(Op(20, 1));
+  std::vector<OpRecord> out;
+  core.ProcessStable(&out);
+  const Timestamp watermark = core.last_emitted();
+  core.AddOp(Op(30, 0));
+  core.AddOp(Op(40, 1));
+  out.clear();
+  core.ProcessStable(&out);
+  for (const OpRecord& op : out) {
+    EXPECT_GT(op.ts, watermark);
+  }
+}
+
+TEST(EunomiaCoreTest, ForceExtractIgnoresOwnStableTime) {
+  EunomiaCore core(2);
+  core.AddOp(Op(100, 0));
+  // Partition 1 silent: own StableTime is 0, but the (leader's) notice says
+  // everything <= 100 was shipped.
+  std::vector<OpRecord> out;
+  EXPECT_EQ(core.ForceExtractUpTo(100, &out), 1u);
+  EXPECT_EQ(core.pending_ops(), 0u);
+}
+
+TEST(EunomiaCoreTest, CountersTrack) {
+  EunomiaCore core(2);
+  core.AddOp(Op(1, 0));
+  core.AddOp(Op(2, 1));
+  core.Heartbeat(0, 10);
+  std::vector<OpRecord> out;
+  core.ProcessStable(&out);
+  EXPECT_EQ(core.ops_received(), 2u);
+  EXPECT_EQ(core.heartbeats_received(), 1u);
+  EXPECT_EQ(core.ops_emitted(), 2u);
+}
+
+// --- property tests ----------------------------------------------------------
+
+struct Emission {
+  Timestamp ts;
+  PartitionId partition;
+};
+
+// Property 3 + 4 (DESIGN.md): whatever the interleaving of ops, heartbeats
+// and ProcessStable calls, (a) the emitted sequence is sorted by
+// (ts, partition), (b) nothing is emitted that a partition could still
+// undercut, (c) nothing is lost and nothing duplicated.
+TEST(EunomiaCorePropertyTest, RandomStreamsStabilizeSafelyAndCompletely) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint32_t partitions = 2 + static_cast<std::uint32_t>(rng.NextBounded(6));
+    EunomiaCore core(partitions);
+    std::vector<HybridClock> hybrids(partitions);
+    std::vector<PhysicalClock> phys;
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+      phys.emplace_back(rng.NextInRange(-2000, 2000),
+                        static_cast<double>(rng.NextInRange(-100, 100)));
+    }
+    std::uint64_t true_time = 0;
+    std::vector<Emission> emitted;
+    std::vector<OpRecord> out;
+    std::uint64_t ops_fed = 0;
+
+    for (int step = 0; step < 3000; ++step) {
+      true_time += rng.NextBounded(50) + 1;
+      const auto p = static_cast<PartitionId>(rng.NextBounded(partitions));
+      const int action = static_cast<int>(rng.NextBounded(10));
+      if (action < 7) {
+        const Timestamp ts =
+            hybrids[p].TimestampUpdate(phys[p].Read(true_time), 0);
+        ASSERT_TRUE(core.AddOp(Op(ts, p, 0, ops_fed)));
+        ++ops_fed;
+      } else if (action < 9) {
+        const Timestamp now_phys = phys[p].Read(true_time);
+        if (hybrids[p].HeartbeatDue(now_phys, 10)) {
+          hybrids[p].Observe(now_phys);
+          core.Heartbeat(p, now_phys);
+        }
+      } else {
+        out.clear();
+        core.ProcessStable(&out);
+        for (const OpRecord& op : out) {
+          emitted.push_back({op.ts, op.partition});
+        }
+        // Safety: every partition's next timestamp must exceed everything
+        // emitted so far.
+        if (!out.empty()) {
+          const Timestamp frontier = out.back().ts;
+          for (std::uint32_t q = 0; q < partitions; ++q) {
+            ASSERT_GE(core.partition_time(q), frontier);
+          }
+        }
+      }
+    }
+    // Drain: everyone heartbeats far into the future, then stabilize.
+    true_time += 10'000'000;
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+      const Timestamp now_phys =
+          std::max(phys[p].Read(true_time), hybrids[p].max_ts() + 100);
+      core.Heartbeat(p, now_phys);
+    }
+    out.clear();
+    core.ProcessStable(&out);
+    for (const OpRecord& op : out) {
+      emitted.push_back({op.ts, op.partition});
+    }
+
+    // Completeness: every op fed was emitted exactly once.
+    ASSERT_EQ(emitted.size(), ops_fed) << "trial " << trial;
+    // Total order: sorted by (ts, partition).
+    for (std::size_t i = 1; i < emitted.size(); ++i) {
+      const bool ordered =
+          emitted[i - 1].ts < emitted[i].ts ||
+          (emitted[i - 1].ts == emitted[i].ts &&
+           emitted[i - 1].partition < emitted[i].partition);
+      ASSERT_TRUE(ordered) << "emission order violated at " << i;
+    }
+  }
+}
+
+// Stability safety under adversarial heartbeat timing: an op added *after*
+// its partition's heartbeat must always carry a larger timestamp, so it can
+// never be "missed" by a stabilization round.
+TEST(EunomiaCorePropertyTest, HeartbeatNeverAllowsUndercut) {
+  Rng rng(55);
+  EunomiaCore core(3);
+  std::vector<HybridClock> hybrids(3);
+  std::uint64_t clock = 1000;
+  for (int i = 0; i < 2000; ++i) {
+    clock += rng.NextBounded(20);
+    const auto p = static_cast<PartitionId>(rng.NextBounded(3));
+    if (rng.NextBool(0.3)) {
+      if (hybrids[p].HeartbeatDue(clock, 5)) {
+        hybrids[p].Observe(clock);
+        core.Heartbeat(p, clock);
+      }
+    } else {
+      const Timestamp ts = hybrids[p].TimestampUpdate(clock, 0);
+      ASSERT_TRUE(core.AddOp(OpRecord{ts, p, 0, 0}))
+          << "op undercut its partition's own heartbeat";
+    }
+  }
+  EXPECT_EQ(core.monotonicity_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace eunomia

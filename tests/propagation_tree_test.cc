@@ -1,0 +1,172 @@
+// Tests for the §5 propagation-tree optimization: topology invariants and
+// an end-to-end relay pipeline feeding EunomiaCore.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/eunomia/core.h"
+#include "src/eunomia/propagation_tree.h"
+
+namespace eunomia {
+namespace {
+
+TEST(PropagationTreeTest, ParentChildConsistency) {
+  for (const std::uint32_t n : {1u, 2u, 7u, 8u, 9u, 64u}) {
+    for (const std::uint32_t fanout : {2u, 4u, 8u}) {
+      PropagationTree tree(n, fanout);
+      for (std::uint32_t node = 0; node < n; ++node) {
+        const auto children = tree.Children(node);
+        EXPECT_LE(children.size(), fanout);
+        for (const std::uint32_t child : children) {
+          ASSERT_LT(child, n);
+          EXPECT_EQ(tree.Parent(child), node);
+        }
+      }
+      EXPECT_EQ(tree.Parent(0), std::nullopt);
+      EXPECT_TRUE(tree.IsRoot(0));
+    }
+  }
+}
+
+TEST(PropagationTreeTest, EveryNodeReachesRoot) {
+  PropagationTree tree(100, 4);
+  for (std::uint32_t node = 0; node < 100; ++node) {
+    std::uint32_t cur = node;
+    int hops = 0;
+    while (!tree.IsRoot(cur)) {
+      cur = *tree.Parent(cur);
+      ASSERT_LT(++hops, 100) << "cycle";
+    }
+    EXPECT_EQ(static_cast<std::uint32_t>(hops), tree.Depth(node));
+  }
+}
+
+TEST(PropagationTreeTest, DepthIsLogarithmic) {
+  PropagationTree tree(1000, 4);
+  std::uint32_t max_depth = 0;
+  for (std::uint32_t node = 0; node < 1000; ++node) {
+    max_depth = std::max(max_depth, tree.Depth(node));
+  }
+  // ceil(log4(1000)) == 5.
+  EXPECT_LE(max_depth, 5u);
+  EXPECT_GE(max_depth, 4u);
+}
+
+TEST(TreeRelayTest, MergesChildrenAndLocalOps) {
+  TreeRelay relay(4);
+  relay.AddLocal({OpRecord{10, 0, 0, 0}, OpRecord{20, 0, 0, 0}});
+  TreeRelay::Payload child;
+  child.ops = {OpRecord{15, 1, 0, 0}};
+  child.heartbeats = {{2, 100}};
+  relay.OnChildPayload(child);
+  EXPECT_TRUE(relay.HasPending());
+  const auto up = relay.TakeUpstream();
+  EXPECT_EQ(up.ops.size(), 3u);
+  ASSERT_EQ(up.heartbeats.size(), 1u);
+  EXPECT_EQ(up.heartbeats[0], (std::pair<PartitionId, Timestamp>{2, 100}));
+  EXPECT_FALSE(relay.HasPending());
+}
+
+TEST(TreeRelayTest, HeartbeatsKeepOnlyFreshest) {
+  TreeRelay relay(2);
+  relay.AddLocalHeartbeat(0, 50);
+  relay.AddLocalHeartbeat(0, 40);  // stale, ignored
+  relay.AddLocalHeartbeat(0, 60);
+  const auto up = relay.TakeUpstream();
+  ASSERT_EQ(up.heartbeats.size(), 1u);
+  EXPECT_EQ(up.heartbeats[0].second, 60u);
+}
+
+// End-to-end: N partitions flushing through a fanout-4 tree into
+// EunomiaCore. All ops stabilize, in total order, and the number of
+// messages the root forwards to Eunomia is one per flush round instead of
+// one per partition — the point of the optimization.
+TEST(TreeRelayTest, PipelineDeliversEverythingInOrder) {
+  constexpr std::uint32_t kPartitions = 16;
+  constexpr std::uint32_t kFanout = 4;
+  PropagationTree tree(kPartitions, kFanout);
+  std::vector<TreeRelay> relays;
+  for (std::uint32_t i = 0; i < kPartitions; ++i) {
+    relays.emplace_back(kPartitions);
+  }
+  EunomiaCore core(kPartitions);
+  Rng rng(42);
+  std::vector<Timestamp> next_ts(kPartitions, 1);
+  std::uint64_t produced = 0;
+  std::uint64_t root_messages = 0;
+  std::vector<OpRecord> emitted;
+
+  for (int round = 0; round < 200; ++round) {
+    // Each partition creates 0-2 ops locally or heartbeats.
+    for (std::uint32_t p = 0; p < kPartitions; ++p) {
+      const std::uint64_t n = rng.NextBounded(3);
+      if (n == 0) {
+        next_ts[p] += 5;
+        relays[p].AddLocalHeartbeat(static_cast<PartitionId>(p), next_ts[p]);
+        continue;
+      }
+      std::vector<OpRecord> ops;
+      for (std::uint64_t i = 0; i < n; ++i) {
+        next_ts[p] += 1 + rng.NextBounded(4);
+        ops.push_back(OpRecord{next_ts[p], static_cast<PartitionId>(p), 0, 0});
+        ++produced;
+      }
+      relays[p].AddLocal(ops);
+    }
+    // Flush leaves-to-root (deepest first so payloads move one level per
+    // round at least; FIFO order within each link is inherent here).
+    for (std::uint32_t node = kPartitions; node-- > 1;) {
+      if (relays[node].HasPending()) {
+        relays[*tree.Parent(node)].OnChildPayload(relays[node].TakeUpstream());
+      }
+    }
+    if (relays[0].HasPending()) {
+      ++root_messages;
+      const auto payload = relays[0].TakeUpstream();
+      for (const OpRecord& op : payload.ops) {
+        ASSERT_TRUE(core.AddOp(op)) << "FIFO per partition broken by the tree";
+      }
+      for (const auto& [partition, ts] : payload.heartbeats) {
+        core.Heartbeat(partition, ts);
+      }
+    }
+    core.ProcessStable(&emitted);
+  }
+  // Drain.
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint32_t node = kPartitions; node-- > 1;) {
+      if (relays[node].HasPending()) {
+        relays[*tree.Parent(node)].OnChildPayload(relays[node].TakeUpstream());
+      }
+    }
+    if (relays[0].HasPending()) {
+      const auto payload = relays[0].TakeUpstream();
+      for (const OpRecord& op : payload.ops) {
+        ASSERT_TRUE(core.AddOp(op));
+      }
+      for (const auto& [partition, ts] : payload.heartbeats) {
+        core.Heartbeat(partition, ts);
+      }
+    }
+  }
+  for (std::uint32_t p = 0; p < kPartitions; ++p) {
+    core.Heartbeat(static_cast<PartitionId>(p), next_ts[p] + 100);
+  }
+  core.ProcessStable(&emitted);
+
+  EXPECT_EQ(emitted.size(), produced);
+  for (std::size_t i = 1; i < emitted.size(); ++i) {
+    const bool ordered = emitted[i - 1].ts < emitted[i].ts ||
+                         (emitted[i - 1].ts == emitted[i].ts &&
+                          emitted[i - 1].partition < emitted[i].partition);
+    EXPECT_TRUE(ordered);
+  }
+  // Message reduction: at most one root message per round, versus
+  // kPartitions per round in the all-to-one scheme.
+  EXPECT_LE(root_messages, 200u);
+}
+
+}  // namespace
+}  // namespace eunomia

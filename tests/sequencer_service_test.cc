@@ -1,0 +1,109 @@
+// Tests for the native sequencer services (the §7.1 baseline): monotonic
+// grants under concurrency and chain replication behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sequencer/sequencer_service.h"
+
+namespace eunomia::seq {
+namespace {
+
+TEST(SequencerServiceTest, GrantsAreSequential) {
+  SequencerService service;
+  service.Start();
+  std::vector<std::uint64_t> grants;
+  for (int i = 0; i < 100; ++i) {
+    grants.push_back(service.Next());
+  }
+  service.Stop();
+  for (std::size_t i = 0; i < grants.size(); ++i) {
+    EXPECT_EQ(grants[i], i + 1);
+  }
+}
+
+TEST(SequencerServiceTest, ConcurrentClientsGetUniqueGrants) {
+  SequencerService service;
+  service.Start();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::vector<std::uint64_t>> grants(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &grants, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        grants[static_cast<std::size_t>(t)].push_back(service.Next());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  service.Stop();
+  std::vector<std::uint64_t> all;
+  for (auto& g : grants) {
+    // Per-client monotonicity.
+    for (std::size_t i = 1; i < g.size(); ++i) {
+      EXPECT_LT(g[i - 1], g[i]);
+    }
+    all.insert(all.end(), g.begin(), g.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], i + 1) << "duplicate or gap in grants";
+  }
+}
+
+TEST(ChainSequencerServiceTest, SingleStageBehavesLikeSequencer) {
+  ChainSequencerService service(1);
+  service.Start();
+  EXPECT_EQ(service.Next(), 1u);
+  EXPECT_EQ(service.Next(), 2u);
+  service.Stop();
+}
+
+TEST(ChainSequencerServiceTest, ThreeStageChainGrantsSequentially) {
+  ChainSequencerService service(3);
+  service.Start();
+  EXPECT_EQ(service.chain_length(), 3u);
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    EXPECT_EQ(service.Next(), i);
+  }
+  service.Stop();
+}
+
+TEST(ChainSequencerServiceTest, ConcurrentClientsThroughChain) {
+  ChainSequencerService service(3);
+  service.Start();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 250;
+  std::vector<std::uint64_t> all;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<std::uint64_t> mine;
+      for (int i = 0; i < kPerThread; ++i) {
+        mine.push_back(service.Next());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      all.insert(all.end(), mine.begin(), mine.end());
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  service.Stop();
+  std::sort(all.begin(), all.end());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i], i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace eunomia::seq

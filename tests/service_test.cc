@@ -1,0 +1,220 @@
+// Tests for the native multithreaded Eunomia services (§6) and the leader
+// detector. These use real threads with short wall-clock budgets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/clock/hybrid_clock.h"
+#include "src/eunomia/leader.h"
+#include "src/eunomia/service.h"
+
+namespace eunomia {
+namespace {
+
+std::uint64_t NowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::vector<OpRecord> MakeBatch(PartitionId p, Timestamp start, int n) {
+  std::vector<OpRecord> batch;
+  for (int i = 0; i < n; ++i) {
+    batch.push_back(OpRecord{start + static_cast<Timestamp>(i), p, 0, 0});
+  }
+  return batch;
+}
+
+TEST(EunomiaServiceTest, StabilizesSubmittedOpsInOrder) {
+  std::vector<Timestamp> emitted;
+  std::mutex mu;
+  EunomiaService::Options options;
+  options.num_partitions = 2;
+  options.stable_period_us = 200;
+  options.sink = [&](const std::vector<OpRecord>& ops) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const OpRecord& op : ops) {
+      emitted.push_back(op.ts);
+    }
+  };
+  EunomiaService service(options);
+  service.Start();
+  service.SubmitBatch(0, MakeBatch(0, 100, 50));
+  service.SubmitBatch(1, MakeBatch(1, 1000, 50));
+  // Heartbeats move both partitions past every submitted op.
+  service.Heartbeat(0, 5000);
+  service.Heartbeat(1, 5000);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.ops_stabilized() < 100 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.Stop();
+  EXPECT_EQ(service.ops_stabilized(), 100u);
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(emitted.size(), 100u);
+  for (std::size_t i = 1; i < emitted.size(); ++i) {
+    EXPECT_LE(emitted[i - 1], emitted[i]);
+  }
+}
+
+TEST(EunomiaServiceTest, SilentPartitionBlocksStabilityUntilHeartbeat) {
+  EunomiaService::Options options;
+  options.num_partitions = 2;
+  options.stable_period_us = 200;
+  EunomiaService service(options);
+  service.Start();
+  service.SubmitBatch(0, MakeBatch(0, 100, 10));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(service.ops_stabilized(), 0u);  // partition 1 silent
+  service.Heartbeat(1, 1000);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.ops_stabilized() < 10 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.Stop();
+  EXPECT_EQ(service.ops_stabilized(), 10u);
+}
+
+TEST(EunomiaServiceTest, ConcurrentProducers) {
+  EunomiaService::Options options;
+  options.num_partitions = 8;
+  options.stable_period_us = 200;
+  EunomiaService service(options);
+  service.Start();
+  constexpr int kOpsPerPartition = 2000;
+  std::vector<std::thread> producers;
+  for (PartitionId p = 0; p < 8; ++p) {
+    producers.emplace_back([&service, p] {
+      HybridClock clock;
+      for (int i = 0; i < kOpsPerPartition / 100; ++i) {
+        std::vector<OpRecord> batch;
+        for (int j = 0; j < 100; ++j) {
+          batch.push_back(OpRecord{clock.TimestampUpdate(NowMicros(), 0), p, 0, 0});
+        }
+        service.SubmitBatch(p, std::move(batch));
+      }
+      service.Heartbeat(p, clock.max_ts() + 1'000'000'000ULL);
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (service.ops_stabilized() < 8ull * kOpsPerPartition &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.Stop();
+  EXPECT_EQ(service.ops_stabilized(), 8ull * kOpsPerPartition);
+}
+
+TEST(FtEunomiaServiceTest, LeaderEmitsAndAcksAdvance) {
+  FtEunomiaService::Options options;
+  options.num_partitions = 2;
+  options.num_replicas = 3;
+  options.stable_period_us = 200;
+  std::atomic<std::uint64_t> sink_count{0};
+  options.sink = [&](const std::vector<OpRecord>& ops) {
+    sink_count.fetch_add(ops.size());
+  };
+  FtEunomiaService service(options);
+  service.Start();
+  EXPECT_EQ(service.CurrentLeader(), std::optional<std::uint32_t>(0));
+  service.SubmitBatch(0, MakeBatch(0, 10, 20));
+  service.SubmitBatch(1, MakeBatch(1, 10, 20));
+  service.Heartbeat(0, 10'000);
+  service.Heartbeat(1, 10'000);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.ops_stabilized() < 40 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(service.ops_stabilized(), 40u);
+  EXPECT_EQ(sink_count.load(), 40u);
+  // Acks from all three replicas reached the op frontier.
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    const auto ack_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (service.AckOf(r, 0) < 29 &&
+           std::chrono::steady_clock::now() < ack_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GE(service.AckOf(r, 0), 29u);
+  }
+  service.Stop();
+}
+
+TEST(FtEunomiaServiceTest, CrashFailover) {
+  FtEunomiaService::Options options;
+  options.num_partitions = 1;
+  options.num_replicas = 3;
+  options.stable_period_us = 200;
+  FtEunomiaService service(options);
+  service.Start();
+  service.SubmitBatch(0, MakeBatch(0, 10, 10));
+  service.Heartbeat(0, 1000);
+  auto wait_for = [&service](std::uint64_t n) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (service.ops_stabilized() < n &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+  wait_for(10);
+  EXPECT_EQ(service.ops_stabilized(), 10u);
+
+  service.CrashReplica(0);
+  EXPECT_EQ(service.CurrentLeader(), std::optional<std::uint32_t>(1));
+  service.SubmitBatch(0, MakeBatch(0, 2000, 10));
+  service.Heartbeat(0, 10'000);
+  wait_for(20);
+  EXPECT_GE(service.ops_stabilized(), 20u);
+
+  service.CrashReplica(1);
+  service.CrashReplica(2);
+  EXPECT_FALSE(service.AnyReplicaAlive());
+  EXPECT_EQ(service.CurrentLeader(), std::nullopt);
+  service.Stop();
+}
+
+TEST(OmegaDetectorTest, LowestUnsuspectedLeads) {
+  OmegaDetector omega(3, /*timeout_us=*/1000);
+  omega.OnAlive(0, 0);
+  omega.OnAlive(1, 0);
+  omega.OnAlive(2, 0);
+  EXPECT_EQ(omega.Leader(500), std::optional<std::uint32_t>(0));
+  // Replica 0 goes silent.
+  omega.OnAlive(1, 2000);
+  omega.OnAlive(2, 2000);
+  EXPECT_EQ(omega.Leader(2500), std::optional<std::uint32_t>(1));
+  // Replica 0 comes back: leadership returns (Omega stabilizes on min id).
+  omega.OnAlive(0, 3000);
+  EXPECT_EQ(omega.Leader(3200), std::optional<std::uint32_t>(0));
+}
+
+TEST(OmegaDetectorTest, RemoveIsPermanent) {
+  OmegaDetector omega(2, 1000);
+  omega.OnAlive(0, 0);
+  omega.OnAlive(1, 0);
+  omega.Remove(0);
+  EXPECT_EQ(omega.Leader(100), std::optional<std::uint32_t>(1));
+  omega.OnAlive(0, 200);  // late heartbeat from a removed replica
+  EXPECT_EQ(omega.Leader(300), std::optional<std::uint32_t>(1));
+}
+
+TEST(OmegaDetectorTest, AllSuspectedMeansNoLeader) {
+  OmegaDetector omega(2, 100);
+  omega.OnAlive(0, 0);
+  omega.OnAlive(1, 0);
+  EXPECT_EQ(omega.Leader(1000), std::nullopt);
+}
+
+}  // namespace
+}  // namespace eunomia

@@ -1,0 +1,285 @@
+// Tests for the discrete-event simulator: scheduler ordering, cancellable
+// timers, FIFO network delivery under jitter, fault injection, and the FCFS
+// server model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/server.h"
+#include "src/sim/simulator.h"
+
+namespace eunomia::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(300, [&order] { order.push_back(3); });
+  sim.ScheduleAt(100, [&order] { order.push_back(1); });
+  sim.ScheduleAt(200, [&order] { order.push_back(2); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300u);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    if (++fired < 5) {
+      sim.ScheduleAfter(10, chain);
+    }
+  };
+  sim.ScheduleAfter(10, chain);
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.now(), 50u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(100, [&fired] { ++fired; });
+  sim.ScheduleAt(200, [&fired] { ++fired; });
+  sim.ScheduleAt(201, [&fired] { ++fired; });
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, 2);  // the event at exactly 200 runs
+  EXPECT_EQ(sim.now(), 200u);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(5000);
+  EXPECT_EQ(sim.now(), 5000u);
+}
+
+TEST(SimulatorTest, CancelableTimerRespectsToken) {
+  Simulator sim;
+  int fired = 0;
+  TimerToken token;
+  sim.ScheduleCancelable(100, token, [&fired] { ++fired; });
+  sim.ScheduleCancelable(200, token, [&fired] { ++fired; });
+  sim.RunUntil(150);
+  token.Cancel();
+  sim.RunUntilIdle();
+  EXPECT_EQ(fired, 1);  // the second firing was cancelled
+}
+
+TEST(SimulatorTest, DeterministicReplay) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim(seed);
+    std::vector<std::uint64_t> samples;
+    for (int i = 0; i < 100; ++i) {
+      samples.push_back(sim.rng().Next());
+    }
+    return samples;
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+NetworkConfig TwoDcConfig() {
+  NetworkConfig config;
+  config.intra_dc_one_way_us = 100;
+  config.wan_one_way_us = {{0, 40000}, {40000, 0}};
+  config.jitter = 0.0;
+  return config;
+}
+
+TEST(NetworkTest, IntraAndInterDcLatencies) {
+  Simulator sim;
+  Network net(&sim, TwoDcConfig());
+  const EndpointId a = net.Register(0);
+  const EndpointId b = net.Register(0);
+  const EndpointId c = net.Register(1);
+  EXPECT_EQ(net.BaseLatency(a, b), 100u);
+  EXPECT_EQ(net.BaseLatency(a, c), 40000u);
+
+  std::vector<std::pair<int, SimTime>> deliveries;
+  net.Send(a, b, [&] { deliveries.emplace_back(1, sim.now()); });
+  net.Send(a, c, [&] { deliveries.emplace_back(2, sim.now()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0].second, 100u);
+  EXPECT_EQ(deliveries[1].second, 40000u);
+}
+
+TEST(NetworkTest, PaperTopologyMatchesRtts) {
+  // 80 ms RTT dc0<->dc1 and dc0<->dc2; 160 ms dc1<->dc2 (one-way 40/40/80).
+  Simulator sim;
+  Network net(&sim, PaperTopology());
+  const EndpointId e0 = net.Register(0);
+  const EndpointId e1 = net.Register(1);
+  const EndpointId e2 = net.Register(2);
+  EXPECT_EQ(net.BaseLatency(e0, e1), 40u * kMillisecond);
+  EXPECT_EQ(net.BaseLatency(e0, e2), 40u * kMillisecond);
+  EXPECT_EQ(net.BaseLatency(e1, e2), 80u * kMillisecond);
+}
+
+TEST(NetworkTest, FifoPerChannelUnderJitter) {
+  Simulator sim(3);
+  NetworkConfig config = TwoDcConfig();
+  config.jitter = 0.5;  // heavy jitter
+  Network net(&sim, config);
+  const EndpointId a = net.Register(0);
+  const EndpointId b = net.Register(1);
+  std::vector<int> received;
+  for (int i = 0; i < 200; ++i) {
+    net.Send(a, b, [&received, i] { received.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  ASSERT_EQ(received.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)], i) << "FIFO violated";
+  }
+}
+
+TEST(NetworkTest, IndependentChannelsDoNotBlockEachOther) {
+  Simulator sim;
+  NetworkConfig config = TwoDcConfig();
+  Network net(&sim, config);
+  const EndpointId a = net.Register(0);
+  const EndpointId b = net.Register(0);
+  const EndpointId c = net.Register(1);
+  SimTime b_time = 0;
+  SimTime c_time = 0;
+  net.Send(a, c, [&] { c_time = sim.now(); });  // slow WAN message first
+  net.Send(a, b, [&] { b_time = sim.now(); });  // fast local message after
+  sim.RunUntilIdle();
+  EXPECT_LT(b_time, c_time);  // different channels: no head-of-line blocking
+}
+
+TEST(NetworkTest, DropProbabilityDropsEverythingAtOne) {
+  Simulator sim;
+  Network net(&sim, TwoDcConfig());
+  const EndpointId a = net.Register(0);
+  const EndpointId b = net.Register(1);
+  net.SetDropProbability(a, b, 1.0);
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) {
+    net.Send(a, b, [&delivered] { ++delivered; });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.messages_dropped(), 50u);
+}
+
+TEST(NetworkTest, PartialLossDeliversRoughlyHalf) {
+  Simulator sim(11);
+  Network net(&sim, TwoDcConfig());
+  const EndpointId a = net.Register(0);
+  const EndpointId b = net.Register(1);
+  net.SetDropProbability(a, b, 0.5);
+  int delivered = 0;
+  for (int i = 0; i < 2000; ++i) {
+    net.Send(a, b, [&delivered] { ++delivered; });
+  }
+  sim.RunUntilIdle();
+  EXPECT_GT(delivered, 800);
+  EXPECT_LT(delivered, 1200);
+}
+
+TEST(NetworkTest, DuplicationDeliversTwiceInOrder) {
+  Simulator sim(7);
+  Network net(&sim, TwoDcConfig());
+  const EndpointId a = net.Register(0);
+  const EndpointId b = net.Register(1);
+  net.SetDuplicateProbability(a, b, 1.0);
+  std::vector<int> received;
+  for (int i = 0; i < 20; ++i) {
+    net.Send(a, b, [&received, i] { received.push_back(i); });
+  }
+  sim.RunUntilIdle();
+  EXPECT_EQ(received.size(), 40u);
+  // FIFO still holds: the sequence must be non-decreasing.
+  for (std::size_t i = 1; i < received.size(); ++i) {
+    EXPECT_LE(received[i - 1], received[i]);
+  }
+}
+
+TEST(NetworkTest, LinkDownBlocksAndRestores) {
+  Simulator sim;
+  Network net(&sim, TwoDcConfig());
+  const EndpointId a = net.Register(0);
+  const EndpointId b = net.Register(1);
+  int delivered = 0;
+  net.SetLinkDown(a, b, true);
+  net.Send(a, b, [&delivered] { ++delivered; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered, 0);
+  net.SetLinkDown(a, b, false);
+  net.Send(a, b, [&delivered] { ++delivered; });
+  sim.RunUntilIdle();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(NetworkTest, ExtraDelayAddsLatency) {
+  Simulator sim;
+  Network net(&sim, TwoDcConfig());
+  const EndpointId a = net.Register(0);
+  const EndpointId b = net.Register(0);
+  net.SetExtraDelay(a, b, 5000);
+  SimTime arrival = 0;
+  net.Send(a, b, [&] { arrival = sim.now(); });
+  sim.RunUntilIdle();
+  EXPECT_EQ(arrival, 5100u);
+}
+
+TEST(ServerTest, FcfsQueueing) {
+  Simulator sim;
+  Server server(&sim);
+  std::vector<SimTime> completions;
+  server.Submit(100, [&] { completions.push_back(sim.now()); });
+  server.Submit(50, [&] { completions.push_back(sim.now()); });
+  sim.RunUntilIdle();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], 100u);
+  EXPECT_EQ(completions[1], 150u);  // queued behind the first task
+}
+
+TEST(ServerTest, IdleServerStartsImmediately) {
+  Simulator sim;
+  Server server(&sim);
+  sim.ScheduleAt(1000, [&] {
+    server.Submit(10, [] {});
+  });
+  sim.RunUntilIdle();
+  EXPECT_EQ(sim.now(), 1010u);
+}
+
+TEST(ServerTest, BacklogReflectsQueuedWork) {
+  Simulator sim;
+  Server server(&sim);
+  server.Submit(100, [] {});
+  server.Submit(100, [] {});
+  EXPECT_EQ(server.Backlog(), 200u);
+  sim.RunUntilIdle();
+  EXPECT_EQ(server.Backlog(), 0u);
+}
+
+TEST(ServerTest, UtilizationAccounting) {
+  Simulator sim;
+  Server server(&sim);
+  server.Submit(300, [] {});
+  server.Submit(200, [] {});
+  sim.RunUntilIdle();
+  EXPECT_EQ(server.busy_accum(), 500u);
+  EXPECT_EQ(server.tasks(), 2u);
+}
+
+}  // namespace
+}  // namespace eunomia::sim

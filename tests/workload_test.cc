@@ -1,0 +1,207 @@
+// Tests for the workload generator: distribution shapes, op mix, closed-loop
+// behaviour, and determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/georep/geo_system.h"
+#include "src/workload/workload.h"
+
+namespace eunomia::wl {
+namespace {
+
+// Minimal in-memory GeoSystem that records issued ops and completes them
+// after a fixed simulated latency.
+class RecordingSystem final : public geo::GeoSystem {
+ public:
+  RecordingSystem(sim::Simulator* sim, std::uint64_t latency_us)
+      : sim_(sim), latency_us_(latency_us) {}
+
+  std::string name() const override { return "Recording"; }
+
+  void ClientRead(ClientId client, DatacenterId dc, Key key,
+                  std::function<void()> done) override {
+    reads.push_back({client, dc, key});
+    sim_->ScheduleAfter(latency_us_, std::move(done));
+  }
+  void ClientUpdate(ClientId client, DatacenterId dc, Key key, Value value,
+                    std::function<void()> done) override {
+    updates.push_back({client, dc, key});
+    last_value = value;
+    sim_->ScheduleAfter(latency_us_, std::move(done));
+  }
+  geo::VisibilityTracker& tracker() override { return tracker_; }
+
+  struct OpInfo {
+    ClientId client;
+    DatacenterId dc;
+    Key key;
+  };
+  std::vector<OpInfo> reads;
+  std::vector<OpInfo> updates;
+  Value last_value;
+
+ private:
+  sim::Simulator* sim_;
+  std::uint64_t latency_us_;
+  geo::VisibilityTracker tracker_;
+};
+
+WorkloadConfig BaseConfig() {
+  WorkloadConfig config;
+  config.num_keys = 1000;
+  config.update_fraction = 0.25;
+  config.clients_per_dc = 5;
+  config.duration_us = 1 * sim::kSecond;
+  config.value_size = 100;
+  return config;
+}
+
+TEST(WorkloadDriverTest, RespectsUpdateFraction) {
+  sim::Simulator sim(1);
+  RecordingSystem system(&sim, 500);
+  WorkloadDriver driver(&sim, &system, BaseConfig(), 3);
+  driver.Start();
+  sim.RunUntil(BaseConfig().duration_us);
+  const double total =
+      static_cast<double>(system.reads.size() + system.updates.size());
+  ASSERT_GT(total, 1000);
+  const double fraction = static_cast<double>(system.updates.size()) / total;
+  EXPECT_NEAR(fraction, 0.25, 0.03);
+}
+
+TEST(WorkloadDriverTest, ClosedLoopIssuesSequentially) {
+  // With latency L and C clients, a closed loop issues ~C * T/L ops.
+  sim::Simulator sim(2);
+  RecordingSystem system(&sim, 1000);  // 1 ms per op
+  auto config = BaseConfig();
+  config.clients_per_dc = 2;  // 6 clients total
+  WorkloadDriver driver(&sim, &system, config, 3);
+  driver.Start();
+  sim.RunUntil(config.duration_us);
+  const std::size_t total = system.reads.size() + system.updates.size();
+  EXPECT_NEAR(static_cast<double>(total), 6000.0, 120.0);
+}
+
+TEST(WorkloadDriverTest, ThinkTimeSlowsClients) {
+  sim::Simulator sim(3);
+  RecordingSystem system(&sim, 1000);
+  auto config = BaseConfig();
+  config.clients_per_dc = 2;
+  config.think_time_us = 1000;  // doubles the per-op cycle
+  WorkloadDriver driver(&sim, &system, config, 3);
+  driver.Start();
+  sim.RunUntil(config.duration_us);
+  const std::size_t total = system.reads.size() + system.updates.size();
+  EXPECT_NEAR(static_cast<double>(total), 3000.0, 100.0);
+}
+
+TEST(WorkloadDriverTest, ClientsSpreadAcrossDatacenters) {
+  sim::Simulator sim(4);
+  RecordingSystem system(&sim, 500);
+  WorkloadDriver driver(&sim, &system, BaseConfig(), 3);
+  driver.Start();
+  sim.RunUntil(BaseConfig().duration_us);
+  std::map<DatacenterId, int> per_dc;
+  for (const auto& op : system.reads) {
+    ++per_dc[op.dc];
+  }
+  EXPECT_EQ(per_dc.size(), 3u);
+}
+
+TEST(WorkloadDriverTest, UniformKeysCoverSpace) {
+  sim::Simulator sim(5);
+  RecordingSystem system(&sim, 100);
+  auto config = BaseConfig();
+  config.num_keys = 50;
+  WorkloadDriver driver(&sim, &system, config, 3);
+  driver.Start();
+  sim.RunUntil(config.duration_us);
+  std::map<Key, int> counts;
+  for (const auto& op : system.reads) {
+    ++counts[op.key];
+  }
+  EXPECT_EQ(counts.size(), 50u);  // every key touched
+}
+
+TEST(WorkloadDriverTest, ZipfSkewsKeyPopularity) {
+  sim::Simulator sim(6);
+  RecordingSystem system(&sim, 100);
+  auto config = BaseConfig();
+  config.distribution = KeyDistribution::kZipf;
+  config.num_keys = 10000;
+  WorkloadDriver driver(&sim, &system, config, 3);
+  driver.Start();
+  sim.RunUntil(config.duration_us);
+  std::map<Key, int> counts;
+  std::size_t total = 0;
+  for (const auto& op : system.reads) {
+    ++counts[op.key];
+    ++total;
+  }
+  for (const auto& op : system.updates) {
+    ++counts[op.key];
+    ++total;
+  }
+  // The single hottest key must hold far more than the uniform share.
+  int hottest = 0;
+  for (const auto& [key, count] : counts) {
+    hottest = std::max(hottest, count);
+  }
+  EXPECT_GT(hottest, static_cast<int>(total / 10000 * 20));
+}
+
+TEST(WorkloadDriverTest, ValuesHaveConfiguredSize) {
+  sim::Simulator sim(7);
+  RecordingSystem system(&sim, 100);
+  auto config = BaseConfig();
+  config.update_fraction = 1.0;
+  config.value_size = 100;  // the paper's 100-byte values
+  WorkloadDriver driver(&sim, &system, config, 3);
+  driver.Start();
+  sim.RunUntil(10'000);
+  ASSERT_FALSE(system.updates.empty());
+  EXPECT_EQ(system.last_value.size(), 100u);
+}
+
+TEST(WorkloadDriverTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    sim::Simulator sim(9);
+    RecordingSystem system(&sim, 500);
+    WorkloadDriver driver(&sim, &system, BaseConfig(), 3);
+    driver.Start();
+    sim.RunUntil(200'000);
+    std::vector<Key> keys;
+    for (const auto& op : system.reads) {
+      keys.push_back(op.key);
+    }
+    return keys;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(WorkloadDriverTest, StopCeasesIssuing) {
+  sim::Simulator sim(10);
+  RecordingSystem system(&sim, 500);
+  WorkloadDriver driver(&sim, &system, BaseConfig(), 3);
+  driver.Start();
+  sim.RunUntil(100'000);
+  driver.Stop();
+  const std::size_t at_stop = system.reads.size() + system.updates.size();
+  sim.RunUntil(500'000);
+  const std::size_t after = system.reads.size() + system.updates.size();
+  EXPECT_EQ(after, at_stop);
+}
+
+TEST(MixLabelTest, FormatsLikeThePaper) {
+  WorkloadConfig config;
+  config.update_fraction = 0.10;
+  EXPECT_EQ(MixLabel(config), "90:10 U");
+  config.distribution = KeyDistribution::kZipf;
+  config.update_fraction = 0.5;
+  EXPECT_EQ(MixLabel(config), "50:50 P");
+}
+
+}  // namespace
+}  // namespace eunomia::wl
