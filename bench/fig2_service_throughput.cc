@@ -24,11 +24,19 @@
 // client count; Eunomia scales with offered load and plateaus near an order
 // of magnitude higher (the paper reports 7.7x), with no degradation from 60
 // to 75 partitions.
+// A third part measures the *native multithreaded service* (the sharded
+// stabilizer pipeline): producers race a fixed op count into EunomiaService
+// at num_shards = 1/2/4/8 and we report stabilized ops/sec — the scaling
+// curve the sharding refactor buys. `--smoke` runs only that part with a
+// tiny op count (CI exercises the pipeline on every push).
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "bench/service_driver.h"
 #include "src/eunomia/core.h"
+#include "src/eunomia/service.h"
 #include "src/harness/table.h"
 #include "src/sim/network.h"
 #include "src/sim/server.h"
@@ -194,11 +202,54 @@ double SimulateSequencer(std::uint32_t clients) {
   return static_cast<double>(granted) / (static_cast<double>(kRunUs) / 1e6);
 }
 
-void Run() {
+// --- part 3: native sharded-service scaling ----------------------------------
+
+// Returns false if any configuration failed to stabilize its load (the CI
+// smoke step must go red on a stalled pipeline, not print a zero row).
+bool RunShardScan(bool smoke) {
+  bench::FixedLoad load;
+  if (smoke) {
+    load.num_partitions = 8;
+    load.ops_per_partition = 5'000;
+  }
+  const std::vector<std::uint32_t> shard_counts =
+      smoke ? std::vector<std::uint32_t>{1u, 4u}
+            : std::vector<std::uint32_t>{1u, 2u, 4u, 8u};
+  std::printf(
+      "\nnative sharded stabilizer pipeline: %u producer partitions race "
+      "%llu ops each\n",
+      load.num_partitions,
+      static_cast<unsigned long long>(load.ops_per_partition));
+  Table table({"num_shards", "stabilized (kops/s)", "speedup vs 1 shard"});
+  double base = 0.0;
+  bool all_converged = true;
+  for (const std::uint32_t shards : shard_counts) {
+    const double rate = bench::MeasureShardedThroughput(shards, load);
+    if (rate <= 0.0) {
+      all_converged = false;
+    }
+    if (shards == 1) {
+      base = rate;
+    }
+    table.AddRow({Table::Num(shards, 0), Table::Num(rate / 1000.0, 0),
+                  base > 0 ? Table::Num(rate / base, 2) + "x" : "n/a"});
+  }
+  table.Print();
+  if (!all_converged) {
+    std::printf("ERROR: a shard configuration did not stabilize its load\n");
+  }
+  return all_converged;
+}
+
+int Run(bool smoke) {
   harness::PrintBanner(
       "Figure 2: maximum throughput, Eunomia vs a synchronous sequencer",
       "clients connect directly to the services (each client = one "
       "partition); Eunomia batches 1 ms off the critical path");
+
+  if (smoke) {
+    return RunShardScan(/*smoke=*/true) ? 0 : 1;
+  }
 
   const double core_rate = MeasureCoreIngest();
   std::printf(
@@ -226,12 +277,19 @@ void Run() {
       "stays flat at 75; the sequencer\nsaturates ~48 kops/s regardless of "
       "clients (7.7x). peak measured ratio: %.1fx\n",
       peak_ratio);
+
+  return RunShardScan(/*smoke=*/false) ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace eunomia
 
-int main() {
-  eunomia::Run();
-  return 0;
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  return eunomia::Run(smoke);
 }

@@ -17,12 +17,18 @@
 //     the client unblocks; the head must forward each request, so the
 //     per-grant service cost rises and the ceiling drops (~33% in the
 //     paper).
+// A native section at the end drives the real multithreaded services
+// (bench/service_driver.h): the sharded non-FT EunomiaService at
+// num_shards = 1 and 4 against the 3-replica FtEunomiaService, so the FT
+// overhead and the shard-scaling headroom are measured on the same workload.
 #include <cstdio>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "bench/service_driver.h"
 #include "src/eunomia/replica.h"
+#include "src/eunomia/service.h"
 #include "src/harness/table.h"
 #include "src/sim/network.h"
 #include "src/sim/server.h"
@@ -186,7 +192,44 @@ double SimulateChainSequencer(std::uint32_t stages) {
   return static_cast<double>(granted) / (static_cast<double>(kRunUs) / 1e6);
 }
 
-void Run() {
+// Native multithreaded services under the same fixed load: non-FT with the
+// num_shards knob, FT with 3 replicas. Returns false if any service failed
+// to stabilize its load, so the binary can go red instead of printing zeros.
+bool RunNativeServices() {
+  bench::FixedLoad load;
+  load.num_partitions = 12;
+  load.ops_per_partition = 100'000;
+  std::printf(
+      "\nnative services, same fixed load (%u partitions x %llu ops):\n",
+      load.num_partitions,
+      static_cast<unsigned long long>(load.ops_per_partition));
+  const double non_ft_1 = bench::MeasureShardedThroughput(1, load);
+  const double non_ft_4 = bench::MeasureShardedThroughput(4, load);
+  double ft3 = 0.0;
+  {
+    FtEunomiaService::Options options;
+    options.num_partitions = load.num_partitions;
+    options.num_replicas = 3;
+    options.stable_period_us = 200;
+    FtEunomiaService service(options);
+    ft3 = bench::MeasureStabilizedThroughput(service, load);
+  }
+  Table table({"service", "stabilized (kops/s)", "vs non-FT 1-shard"});
+  table.AddRow({"EunomiaService num_shards=1", Table::Num(non_ft_1 / 1000.0, 0),
+                "1.00"});
+  table.AddRow({"EunomiaService num_shards=4", Table::Num(non_ft_4 / 1000.0, 0),
+                non_ft_1 > 0 ? Table::Num(non_ft_4 / non_ft_1, 2) : "n/a"});
+  table.AddRow({"FtEunomiaService 3 replicas", Table::Num(ft3 / 1000.0, 0),
+                non_ft_1 > 0 ? Table::Num(ft3 / non_ft_1, 2) : "n/a"});
+  table.Print();
+  const bool converged = non_ft_1 > 0.0 && non_ft_4 > 0.0 && ft3 > 0.0;
+  if (!converged) {
+    std::printf("ERROR: a native service did not stabilize its load\n");
+  }
+  return converged;
+}
+
+int Run() {
   harness::PrintBanner(
       "Figure 3: fault-tolerance overhead (normalized per family)",
       "60 partitions/clients; Eunomia replicas never coordinate, chain "
@@ -217,12 +260,13 @@ void Run() {
       "replica count); the 3-replica chain\nsequencer loses ~33%%. measured: "
       "Eunomia 3-FT %.2f, chain %.2f of their non-FT baselines\n",
       ft3 / eunomia_base, chain / seq_base);
+
+  return RunNativeServices() ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace eunomia
 
 int main() {
-  eunomia::Run();
-  return 0;
+  return eunomia::Run();
 }

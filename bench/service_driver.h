@@ -9,6 +9,7 @@
 // the batch to the service; idle gaps are covered by heartbeats.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -39,6 +40,37 @@ struct ProducerOptions {
   std::uint64_t ops_per_batch = 2000;
 };
 
+// One partition's producer body, shared by the time-bounded and the
+// count-bounded drivers: hybrid-clock-timestamped batches of up to
+// ops_per_batch until either bound trips (pass kTimestampMax / a huge
+// deadline for "unbounded"), an optional sleep between batches, then a
+// far-future heartbeat so the backlog can stabilize. Returns ops submitted.
+template <typename Service>
+std::uint64_t ProducePartitionLoad(Service& service, PartitionId p,
+                                   std::uint64_t ops_per_batch,
+                                   std::uint64_t batch_interval_us,
+                                   std::uint64_t max_ops,
+                                   std::uint64_t deadline_us) {
+  HybridClock clock;
+  std::vector<OpRecord> batch;
+  batch.reserve(ops_per_batch);
+  std::uint64_t produced = 0;
+  while (produced < max_ops && NowMicros() < deadline_us) {
+    batch.clear();
+    const std::uint64_t n = std::min(ops_per_batch, max_ops - produced);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      batch.push_back(OpRecord{clock.TimestampUpdate(NowMicros(), 0), p, 0, 0});
+    }
+    produced += n;
+    service.SubmitBatch(p, batch);
+    if (batch_interval_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(batch_interval_us));
+    }
+  }
+  service.Heartbeat(p, clock.max_ts() + 3'600'000'000ULL);
+  return produced;
+}
+
 // Generic service concept: SubmitBatch(partition, vector<OpRecord>) and
 // Heartbeat(partition, ts).
 template <typename Service>
@@ -49,29 +81,90 @@ std::uint64_t DriveProducers(Service& service, const ProducerOptions& options) {
   const std::uint64_t deadline = NowMicros() + options.duration_us;
   for (std::uint32_t p = 0; p < options.num_partitions; ++p) {
     producers.emplace_back([&service, &options, &submitted, deadline, p] {
-      HybridClock clock;
-      std::vector<OpRecord> batch;
-      batch.reserve(options.ops_per_batch);
-      while (NowMicros() < deadline) {
-        batch.clear();
-        for (std::uint64_t i = 0; i < options.ops_per_batch; ++i) {
-          batch.push_back(OpRecord{clock.TimestampUpdate(NowMicros(), 0),
-                                   static_cast<PartitionId>(p), 0, 0});
-        }
-        submitted.fetch_add(batch.size(), std::memory_order_relaxed);
-        service.SubmitBatch(static_cast<PartitionId>(p), batch);
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(options.batch_interval_us));
-      }
-      // Final heartbeat far in the future lets the backlog stabilize.
-      service.Heartbeat(static_cast<PartitionId>(p),
-                        clock.max_ts() + 3'600'000'000ULL);
+      submitted.fetch_add(
+          ProducePartitionLoad(service, static_cast<PartitionId>(p),
+                               options.ops_per_batch,
+                               options.batch_interval_us,
+                               /*max_ops=*/kTimestampMax, deadline),
+          std::memory_order_relaxed);
     });
   }
   for (auto& t : producers) {
     t.join();
   }
   return submitted.load();
+}
+
+// Fixed-load race for capacity measurements: every producer submits exactly
+// ops_per_partition ops (batched, timestamp-ordered by a hybrid clock), then
+// a far-future heartbeat, and the measurement is the wall-clock time until
+// the service reports them all stabilized. Bounding the op count keeps
+// memory flat even when the offered load far exceeds the stabilizer's
+// capacity — which is exactly the regime the shard-scaling curve probes.
+struct FixedLoad {
+  std::uint32_t num_partitions = 16;
+  std::uint64_t ops_per_partition = 250'000;
+  std::uint64_t ops_per_batch = 2000;
+  // 0 = submit flat out; otherwise sleep this long between batches.
+  std::uint64_t batch_interval_us = 0;
+
+  std::uint64_t total_ops() const {
+    return static_cast<std::uint64_t>(num_partitions) * ops_per_partition;
+  }
+};
+
+template <typename Service>
+void SubmitFixedLoad(Service& service, const FixedLoad& load) {
+  std::vector<std::thread> producers;
+  producers.reserve(load.num_partitions);
+  for (std::uint32_t p = 0; p < load.num_partitions; ++p) {
+    producers.emplace_back([&service, &load, p] {
+      ProducePartitionLoad(service, static_cast<PartitionId>(p),
+                           load.ops_per_batch, load.batch_interval_us,
+                           load.ops_per_partition,
+                           /*deadline_us=*/kTimestampMax);
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+}
+
+// Drives `service` with the fixed load and returns stabilized ops/sec
+// (start-to-fully-stabilized). Works for EunomiaService and FtEunomiaService
+// (anything with Start/Stop/SubmitBatch/Heartbeat/ops_stabilized).
+template <typename Service>
+double MeasureStabilizedThroughput(Service& service, const FixedLoad& load) {
+  service.Start();
+  const std::uint64_t start = NowMicros();
+  SubmitFixedLoad(service, load);
+  const std::uint64_t deadline = NowMicros() + 120'000'000ULL;
+  while (service.ops_stabilized() < load.total_ops() && NowMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  const std::uint64_t elapsed = NowMicros() - start;
+  // Judge convergence before Stop(): its final flush may push the counter
+  // to the target and mask a run that actually timed out.
+  const bool converged = service.ops_stabilized() >= load.total_ops();
+  service.Stop();
+  if (!converged || elapsed == 0) {
+    return 0.0;  // did not converge inside the deadline
+  }
+  return static_cast<double>(load.total_ops()) /
+         (static_cast<double>(elapsed) / 1e6);
+}
+
+// Convenience wrapper: native EunomiaService with `num_shards` stabilizer
+// workers (the Options knob the sharded pipeline adds).
+inline double MeasureShardedThroughput(std::uint32_t num_shards,
+                                       const FixedLoad& load,
+                                       std::uint64_t stable_period_us = 200) {
+  EunomiaService::Options options;
+  options.num_partitions = load.num_partitions;
+  options.num_shards = num_shards;
+  options.stable_period_us = stable_period_us;
+  EunomiaService service(options);
+  return MeasureStabilizedThroughput(service, load);
 }
 
 // Sequencer load: each client thread issues blocking Next() calls flat out.

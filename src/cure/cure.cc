@@ -11,7 +11,7 @@ CureSystem::CureSystem(sim::Simulator* sim, GeoConfig config)
       config_(std::move(config)),
       network_(sim, config_.network),
       router_(config_.partitions_per_dc),
-      tracker_(config_.timeline_window_us) {
+      tracker_(config_.timeline_window_us, config_.num_dcs) {
   dcs_.resize(config_.num_dcs);
   Rng clock_rng = sim_->rng().Fork(0xC10C);
   for (DatacenterId m = 0; m < config_.num_dcs; ++m) {

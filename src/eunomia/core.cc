@@ -5,32 +5,44 @@
 
 namespace eunomia {
 
-EunomiaCore::EunomiaCore(std::uint32_t num_partitions)
+EunomiaCore::EunomiaCore(std::uint32_t num_partitions, std::uint32_t first_partition)
     : num_partitions_(num_partitions == 0 ? 1 : num_partitions),
+      first_partition_(first_partition),
       partition_time_(num_partitions_, kTimestampZero) {}
 
 bool EunomiaCore::AddOp(const OpRecord& op) {
-  assert(op.partition < num_partitions_);
-  Timestamp& ptime = partition_time_[op.partition];
-  if (op.ts <= ptime) {
-    // Property 2 says this cannot happen with correct partitions and FIFO
-    // links; a replica receiving re-sent batches (§3.3) filters duplicates
-    // before reaching the core. Count and drop.
-    ++monotonicity_violations_;
-    return false;
+  return AddBatch(std::span<const OpRecord>(&op, 1)) == 1;
+}
+
+std::size_t EunomiaCore::AddBatch(std::span<const OpRecord> batch) {
+  std::size_t accepted = 0;
+  RedBlackTree<OpOrderKey, OpRecord>::NodeRef hint = nullptr;
+  for (const OpRecord& op : batch) {
+    assert(op.partition >= first_partition_ &&
+           op.partition - first_partition_ < num_partitions_);
+    Timestamp& ptime = partition_time_[op.partition - first_partition_];
+    if (op.ts <= ptime) {
+      // Property 2 says this cannot happen with correct partitions and FIFO
+      // links; a replica receiving re-sent batches (§3.3) filters duplicates
+      // before reaching the core. Count and drop (and restart the hint run).
+      ++monotonicity_violations_;
+      hint = nullptr;
+      continue;
+    }
+    hint = ops_.InsertHinted(OrderKeyOf(op), op, hint);
+    assert(hint != nullptr && "(ts, partition) keys must be unique");
+    ptime = op.ts;
+    ++ops_received_;
+    ++accepted;
   }
-  const bool inserted = ops_.Insert(OrderKeyOf(op), op);
-  assert(inserted && "(ts, partition) keys must be unique");
-  (void)inserted;
-  ptime = op.ts;
-  ++ops_received_;
-  return true;
+  return accepted;
 }
 
 void EunomiaCore::Heartbeat(PartitionId partition, Timestamp ts) {
-  assert(partition < num_partitions_);
+  assert(partition >= first_partition_ &&
+         partition - first_partition_ < num_partitions_);
   ++heartbeats_received_;
-  Timestamp& ptime = partition_time_[partition];
+  Timestamp& ptime = partition_time_[partition - first_partition_];
   if (ts > ptime) {
     ptime = ts;
   }

@@ -18,7 +18,9 @@
 // implementation.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/types.h"
@@ -29,15 +31,28 @@ namespace eunomia {
 
 class EunomiaCore {
  public:
-  explicit EunomiaCore(std::uint32_t num_partitions);
+  // The core tracks partitions [first_partition, first_partition +
+  // num_partitions). A non-zero base lets a sharded service give each worker
+  // a private core over its contiguous partition range while ops keep their
+  // global partition ids.
+  explicit EunomiaCore(std::uint32_t num_partitions,
+                       std::uint32_t first_partition = 0);
 
   std::uint32_t num_partitions() const { return num_partitions_; }
+  std::uint32_t first_partition() const { return first_partition_; }
 
   // ADD_OP (Alg. 3 lines 1-4). Returns false — and ignores the op — if it
   // violates Property 2 (non-monotonic timestamp from its partition); the
   // violation counter lets tests and the service assert this never happens
   // with correct partitions.
   bool AddOp(const OpRecord& op);
+
+  // Bulk ADD_OP for a partition batch. Batches arrive in increasing
+  // timestamp order (Property 2), so consecutive ops are adjacent runs in
+  // the ordered buffer: each insert is hinted by the previous one and skips
+  // the root descent whenever the run is contiguous. Non-monotone ops are
+  // counted and dropped exactly as AddOp does. Returns the number accepted.
+  std::size_t AddBatch(std::span<const OpRecord> batch);
 
   // HEARTBEAT (Alg. 3 lines 5-6). Heartbeats only move PartitionTime; a
   // stale heartbeat (<= current entry) is ignored.
@@ -60,7 +75,10 @@ class EunomiaCore {
 
   // --- introspection ---------------------------------------------------------
   std::size_t pending_ops() const { return ops_.size(); }
-  Timestamp partition_time(PartitionId p) const { return partition_time_[p]; }
+  Timestamp partition_time(PartitionId p) const {
+    assert(p >= first_partition_ && p - first_partition_ < num_partitions_);
+    return partition_time_[p - first_partition_];
+  }
   Timestamp last_emitted() const { return last_emitted_; }
   std::uint64_t ops_received() const { return ops_received_; }
   std::uint64_t ops_emitted() const { return ops_emitted_; }
@@ -69,6 +87,7 @@ class EunomiaCore {
 
  private:
   std::uint32_t num_partitions_;
+  std::uint32_t first_partition_;
   RedBlackTree<OpOrderKey, OpRecord> ops_;
   std::vector<Timestamp> partition_time_;
   Timestamp last_emitted_ = 0;

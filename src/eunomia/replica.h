@@ -35,11 +35,17 @@ class EunomiaReplica {
   // senders guarantee it). Returns PartitionTime_f[p_n] — the cumulative
   // acknowledgement for the sending partition.
   Timestamp NewBatch(std::span<const OpRecord> batch, PartitionId partition) {
-    for (const OpRecord& op : batch) {
-      if (op.ts > core_.partition_time(partition)) {
-        core_.AddOp(op);
-      }
-      // else: duplicate of an op already seen — filtered, per Alg. 4 line 2.
+    // Re-sent duplicates (ops already seen) form a prefix of the ordered
+    // batch — filtered per Alg. 4 line 2 *before* the core, so they are not
+    // miscounted as Property 2 violations; the rest bulk-inserts through
+    // the hinted run path.
+    std::size_t first_new = 0;
+    const Timestamp seen = core_.partition_time(partition);
+    while (first_new < batch.size() && batch[first_new].ts <= seen) {
+      ++first_new;
+    }
+    if (first_new < batch.size()) {
+      core_.AddBatch(batch.subspan(first_new));
     }
     return core_.partition_time(partition);
   }

@@ -16,12 +16,30 @@ void SleepMicros(std::uint64_t us) {
 
 // --- EunomiaService ----------------------------------------------------------
 
-EunomiaService::EunomiaService(Options options)
-    : options_(std::move(options)), core_(options_.num_partitions) {
-  inboxes_.reserve(options_.num_partitions);
-  for (std::uint32_t i = 0; i < options_.num_partitions; ++i) {
+EunomiaService::EunomiaService(Options options) : options_(std::move(options)) {
+  assert(options_.num_partitions >= 1);
+  const std::uint32_t partitions = options_.num_partitions;
+  const std::uint32_t shards =
+      std::clamp<std::uint32_t>(options_.num_shards, 1, partitions);
+  inboxes_.reserve(partitions);
+  for (std::uint32_t i = 0; i < partitions; ++i) {
     inboxes_.push_back(std::make_unique<Inbox>());
   }
+  // Contiguous ranges, remainder spread over the first shards.
+  shard_of_partition_.resize(partitions);
+  const std::uint32_t base = partitions / shards;
+  const std::uint32_t rem = partitions % shards;
+  std::uint32_t first = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint32_t count = base + (s < rem ? 1 : 0);
+    shards_.push_back(std::make_unique<Shard>(first, count));
+    for (std::uint32_t p = first; p < first + count; ++p) {
+      shard_of_partition_[p] = s;
+    }
+    first += count;
+  }
+  merge_.shard_stable.assign(shards, 0);
+  merge_.staged.resize(shards);
 }
 
 EunomiaService::~EunomiaService() { Stop(); }
@@ -30,38 +48,106 @@ void EunomiaService::Start() {
   if (running_.exchange(true)) {
     return;
   }
-  stabilizer_ = std::thread([this] { StabilizerLoop(); });
+  {
+    std::lock_guard<std::mutex> lock(merge_.mu);
+    merge_.shutdown = false;
+  }
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->thread = std::thread([this, s] { ShardLoop(s); });
+  }
+  merge_thread_ = std::thread([this] { MergeLoop(); });
 }
 
 void EunomiaService::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
-  if (stabilizer_.joinable()) {
-    stabilizer_.join();
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    WakeShard(s);
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) {
+      shard->thread.join();
+    }
+  }
+  // Every shard has now published its last extraction; let the merge thread
+  // run its final flush and exit.
+  {
+    std::lock_guard<std::mutex> lock(merge_.mu);
+    merge_.shutdown = true;
+  }
+  merge_.cv.notify_one();
+  if (merge_thread_.joinable()) {
+    merge_thread_.join();
   }
 }
 
 void EunomiaService::SubmitBatch(PartitionId partition, std::vector<OpRecord> batch) {
   assert(partition < inboxes_.size());
+  if (!running_.load(std::memory_order_relaxed)) {
+    return;  // no consumer after Stop: accepting would grow inboxes forever
+  }
   ops_submitted_.fetch_add(batch.size(), std::memory_order_relaxed);
   Inbox& inbox = *inboxes_[partition];
-  std::lock_guard<std::mutex> lock(inbox.mu);
-  inbox.batches.push_back(std::move(batch));
+  {
+    std::lock_guard<std::mutex> lock(inbox.mu);
+    inbox.batches.push_back(std::move(batch));
+  }
+  WakeShard(shard_of_partition_[partition]);
 }
 
 void EunomiaService::Heartbeat(PartitionId partition, Timestamp ts) {
   assert(partition < inboxes_.size());
+  if (!running_.load(std::memory_order_relaxed)) {
+    return;
+  }
   Inbox& inbox = *inboxes_[partition];
-  std::lock_guard<std::mutex> lock(inbox.mu);
-  inbox.heartbeat = std::max(inbox.heartbeat, ts);
+  {
+    std::lock_guard<std::mutex> lock(inbox.mu);
+    inbox.heartbeat = std::max(inbox.heartbeat, ts);
+  }
+  WakeShard(shard_of_partition_[partition]);
 }
 
-void EunomiaService::StabilizerLoop() {
+std::uint64_t EunomiaService::heartbeats_forwarded() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->heartbeats_forwarded.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void EunomiaService::WakeShard(std::uint32_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  {
+    std::lock_guard<std::mutex> lock(shard.wake_mu);
+    shard.work_pending = true;
+  }
+  shard.wake_cv.notify_one();
+}
+
+void EunomiaService::ShardLoop(std::uint32_t shard_index) {
+  Shard& shard = *shards_[shard_index];
   std::vector<std::vector<OpRecord>> drained;
+  std::vector<OpRecord> stable_ops;
   while (running_.load(std::memory_order_relaxed)) {
-    // Drain every partition inbox into the core.
-    for (std::uint32_t p = 0; p < inboxes_.size(); ++p) {
+    {
+      // Sleep until a submission/heartbeat for this shard arrives; the
+      // stabilization period is only a fallback tick.
+      std::unique_lock<std::mutex> lock(shard.wake_mu);
+      shard.wake_cv.wait_for(
+          lock, std::chrono::microseconds(options_.stable_period_us), [&] {
+            return shard.work_pending ||
+                   !running_.load(std::memory_order_relaxed);
+          });
+      shard.work_pending = false;
+    }
+    if (!running_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    // Drain this shard's inboxes into the private core.
+    for (std::uint32_t p = shard.first_partition;
+         p < shard.first_partition + shard.num_partitions; ++p) {
       Inbox& inbox = *inboxes_[p];
       Timestamp hb = 0;
       {
@@ -70,25 +156,110 @@ void EunomiaService::StabilizerLoop() {
         hb = inbox.heartbeat;
       }
       for (const auto& batch : drained) {
-        for (const OpRecord& op : batch) {
-          core_.AddOp(op);
-        }
+        shard.core.AddBatch(batch);
       }
       drained.clear();
-      if (hb > 0) {
-        core_.Heartbeat(p, hb);
+      Timestamp& forwarded = shard.last_forwarded_hb[p - shard.first_partition];
+      if (hb > forwarded) {
+        shard.core.Heartbeat(p, hb);
+        forwarded = hb;
+        shard.heartbeats_forwarded.fetch_add(1, std::memory_order_relaxed);
       }
     }
-    // PROCESS_STABLE.
-    stable_buffer_.clear();
-    const std::size_t emitted = core_.ProcessStable(&stable_buffer_);
-    if (emitted > 0) {
-      ops_stabilized_.fetch_add(emitted, std::memory_order_relaxed);
+    // PROCESS_STABLE on the shard, then publish to the merge stage. The
+    // extracted ops all have ts <= shard_stable; the merge stage withholds
+    // them until the *global* minimum passes them.
+    const Timestamp shard_stable = shard.core.StableTime();
+    stable_ops.clear();
+    shard.core.ProcessStable(&stable_ops);
+    if (shard_stable > merge_.shard_stable[shard_index] || !stable_ops.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(merge_.mu);
+        merge_.shard_stable[shard_index] =
+            std::max(merge_.shard_stable[shard_index], shard_stable);
+        auto& queue = merge_.staged[shard_index];
+        queue.insert(queue.end(), stable_ops.begin(), stable_ops.end());
+        merge_.dirty = true;
+      }
+      merge_.cv.notify_one();
+    }
+  }
+}
+
+void EunomiaService::MergeLoop() {
+  std::vector<std::vector<OpRecord>> ready(shards_.size());
+  std::vector<std::size_t> heads(shards_.size(), 0);
+  std::vector<OpRecord> emit;
+  for (;;) {
+    bool shutting_down = false;
+    // Under the lock, only detach each shard's eligible prefix; the k-way
+    // merge itself runs unlocked so large emissions never stall publishes.
+    {
+      std::unique_lock<std::mutex> lock(merge_.mu);
+      merge_.cv.wait(lock,
+                     [this] { return merge_.dirty || merge_.shutdown; });
+      const bool was_dirty = merge_.dirty;
+      merge_.dirty = false;
+      shutting_down = !was_dirty && merge_.shutdown;
+      if (shutting_down) {
+        // Final pass: ops a shard already extracted from its core must not
+        // be destroyed with the service. No emission can follow this one, so
+        // flushing every staged (sorted) stream past the global-min gate
+        // still leaves the total emitted sequence in (ts, partition) order —
+        // matching the old single-stabilizer service, which delivered
+        // everything it extracted.
+        for (std::size_t s = 0; s < merge_.staged.size(); ++s) {
+          auto& queue = merge_.staged[s];
+          ready[s].assign(queue.begin(), queue.end());
+          queue.clear();
+        }
+      } else {
+        const Timestamp global = *std::min_element(merge_.shard_stable.begin(),
+                                                   merge_.shard_stable.end());
+        if (global > kTimestampZero) {
+          for (std::size_t s = 0; s < merge_.staged.size(); ++s) {
+            auto& queue = merge_.staged[s];
+            while (!queue.empty() && queue.front().ts <= global) {
+              ready[s].push_back(queue.front());
+              queue.pop_front();
+            }
+          }
+        }
+      }
+    }
+    // K-way merge of the detached per-shard sorted streams. Ties across
+    // shards are ordered by partition id — the same (ts, partition) total
+    // order EunomiaCore emits.
+    emit.clear();
+    for (;;) {
+      int best = -1;
+      for (std::size_t s = 0; s < ready.size(); ++s) {
+        if (heads[s] == ready[s].size()) {
+          continue;
+        }
+        if (best < 0 || OrderKeyOf(ready[s][heads[s]]) <
+                            OrderKeyOf(ready[best][heads[best]])) {
+          best = static_cast<int>(s);
+        }
+      }
+      if (best < 0) {
+        break;
+      }
+      emit.push_back(ready[best][heads[best]++]);
+    }
+    for (std::size_t s = 0; s < ready.size(); ++s) {
+      ready[s].clear();
+      heads[s] = 0;
+    }
+    if (!emit.empty()) {
+      ops_stabilized_.fetch_add(emit.size(), std::memory_order_relaxed);
       if (options_.sink) {
-        options_.sink(stable_buffer_);
+        options_.sink(emit);
       }
     }
-    SleepMicros(options_.stable_period_us);
+    if (shutting_down) {
+      break;
+    }
   }
 }
 
@@ -126,8 +297,9 @@ void FtEunomiaService::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
+  // Shutdown is not a crash: per-replica liveness is left untouched so that
+  // AckOf keeps reporting the real frontiers after Stop.
   for (auto& replica : replicas_) {
-    replica->alive.store(false);
     if (replica->thread.joinable()) {
       replica->thread.join();
     }
@@ -136,6 +308,9 @@ void FtEunomiaService::Stop() {
 
 void FtEunomiaService::SubmitBatch(PartitionId partition,
                                    const std::vector<OpRecord>& batch) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    return;  // replica threads are gone; inboxes would grow unboundedly
+  }
   for (auto& replica : replicas_) {
     if (!replica->alive.load(std::memory_order_relaxed)) {
       continue;
@@ -146,6 +321,9 @@ void FtEunomiaService::SubmitBatch(PartitionId partition,
 }
 
 void FtEunomiaService::Heartbeat(PartitionId partition, Timestamp ts) {
+  if (!running_.load(std::memory_order_relaxed)) {
+    return;
+  }
   for (auto& replica : replicas_) {
     if (!replica->alive.load(std::memory_order_relaxed)) {
       continue;
@@ -169,7 +347,11 @@ void FtEunomiaService::CrashReplica(std::uint32_t replica) {
   if (!state.alive.exchange(false)) {
     return;
   }
-  if (state.thread.joinable()) {
+  // The leader's sink callback runs on the replica's own thread; a crash
+  // injected from there must not self-join. The loop observes alive == false
+  // and exits on its own; Stop() reaps the thread.
+  if (state.thread.joinable() &&
+      state.thread.get_id() != std::this_thread::get_id()) {
     state.thread.join();
   }
   RecomputeLeader();
@@ -204,6 +386,8 @@ void FtEunomiaService::ReplicaLoop(std::uint32_t replica_id) {
   ReplicaState& state = *replicas_[replica_id];
   std::vector<std::pair<PartitionId, std::vector<OpRecord>>> drained;
   std::vector<Timestamp> heartbeats(options_.num_partitions, 0);
+  std::vector<Timestamp> forwarded_hb(options_.num_partitions, 0);
+  Timestamp applied_notice = 0;
   std::vector<OpRecord> stable_ops;
   while (running_.load(std::memory_order_relaxed) &&
          state.alive.load(std::memory_order_relaxed)) {
@@ -219,38 +403,51 @@ void FtEunomiaService::ReplicaLoop(std::uint32_t replica_id) {
     }
     drained.clear();
     for (PartitionId p = 0; p < heartbeats.size(); ++p) {
-      if (heartbeats[p] > 0) {
+      // Forward a heartbeat only when it advances past the last value
+      // forwarded for that partition; redelivering the unchanged inbox value
+      // every tick would only inflate the core's counters.
+      if (heartbeats[p] > forwarded_hb[p]) {
         state.logic->Heartbeat(p, heartbeats[p]);
+        forwarded_hb[p] = heartbeats[p];
       }
     }
+    // The acquire read of leader_ synchronizes with a crashing leader's
+    // final release-broadcast: if we observe ourselves as the new leader,
+    // the predecessor's last stable notice is visible below.
     const bool is_leader =
-        leader_.load(std::memory_order_relaxed) == static_cast<std::int32_t>(replica_id);
+        leader_.load(std::memory_order_acquire) == static_cast<std::int32_t>(replica_id);
+    // Apply any pending stable notice first, leader or not (Alg. 4 lines
+    // 13-15): a replica that just took over leadership must discard the
+    // prefix the previous leader already shipped before it emits, or the
+    // failover would re-emit (and double-count) those ops.
+    const Timestamp notice = state.stable_notice.load(std::memory_order_acquire);
+    if (notice > applied_notice) {  // skip re-applying an unchanged notice
+      state.logic->OnStableNotice(notice);
+      applied_notice = notice;
+    }
     if (is_leader) {
       stable_ops.clear();
       const auto result = state.logic->ProcessStable(&stable_ops);
-      if (result.emitted > 0) {
-        ops_stabilized_.fetch_add(result.emitted, std::memory_order_relaxed);
-        if (options_.sink) {
-          options_.sink(stable_ops);
-        }
-      }
       if (result.stable_time > 0) {
-        // STABLE broadcast (Alg. 4 line 12).
+        // STABLE broadcast (Alg. 4 line 12) — before the sink, so a crash
+        // injected from the sink callback hands over to a follower that
+        // already holds the notice covering this emission.
         for (std::uint32_t r = 0; r < replicas_.size(); ++r) {
           if (r != replica_id && replicas_[r]->alive.load(std::memory_order_relaxed)) {
             Timestamp cur = replicas_[r]->stable_notice.load(std::memory_order_relaxed);
             while (cur < result.stable_time &&
                    !replicas_[r]->stable_notice.compare_exchange_weak(
-                       cur, result.stable_time, std::memory_order_relaxed)) {
+                       cur, result.stable_time, std::memory_order_release,
+                       std::memory_order_relaxed)) {
             }
           }
         }
       }
-    } else {
-      // Follower: apply the leader's stable notice (Alg. 4 lines 13-15).
-      const Timestamp notice = state.stable_notice.load(std::memory_order_relaxed);
-      if (notice > 0) {
-        state.logic->OnStableNotice(notice);
+      if (result.emitted > 0) {
+        ops_stabilized_.fetch_add(result.emitted, std::memory_order_relaxed);
+        if (options_.sink) {
+          options_.sink(stable_ops);
+        }
       }
     }
     SleepMicros(options_.stable_period_us);

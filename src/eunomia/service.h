@@ -2,14 +2,23 @@
 //
 // This is the component the paper benchmarks in §7.1 by connecting load
 // generators directly to it (bypassing the data store): partitions batch
-// operations locally (~1 ms) and push them to the service; a single
-// stabilizer thread drains the per-partition inboxes into the red-black-tree
-// core, periodically computes the stable time, and emits the stable prefix,
-// in timestamp order, to a sink (in production, the propagation path to
-// remote datacenters).
+// operations locally (~1 ms) and push them to the service.
+//
+// The stabilizer is a *sharded pipeline*. N worker threads each own a
+// contiguous partition range with a private EunomiaCore shard — there is no
+// shared mutex on the ingest hot path. A worker is woken by submissions and
+// heartbeats for its partitions (condition variable, with the stabilization
+// period as a fallback tick), drains its inboxes via swap, bulk-inserts each
+// batch (EunomiaCore::AddBatch exploits per-partition timestamp
+// monotonicity), and publishes its (stable_time, stable_ops) to a merge
+// stage. A dedicated merge thread computes the global minimum stable time
+// across shards and emits ops in global (timestamp, partition) order through
+// a k-way merge of the per-shard sorted streams. With num_shards == 1 the
+// emitted sequence is bit-for-bit the single-stabilizer order, so the
+// unsharded configuration pins the semantics.
 //
 // Two variants:
-//   - EunomiaService: the non-fault-tolerant single-instance service.
+//   - EunomiaService: the non-fault-tolerant service described above.
 //   - FtEunomiaService: N replicas (Alg. 4); partitions fan batches out to
 //     every replica, replicas deduplicate and acknowledge cumulatively, the
 //     leader stabilizes and notifies followers. Replicas never coordinate on
@@ -20,6 +29,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -42,7 +52,10 @@ class EunomiaService {
  public:
   struct Options {
     std::uint32_t num_partitions = 1;
-    std::uint64_t stable_period_us = 500;  // theta
+    // Stabilizer worker count; clamped to [1, num_partitions]. Each shard
+    // owns a contiguous partition range and a private EunomiaCore.
+    std::uint32_t num_shards = 1;
+    std::uint64_t stable_period_us = 500;  // theta (fallback wakeup period)
     StableSink sink;
   };
 
@@ -53,11 +66,19 @@ class EunomiaService {
   EunomiaService& operator=(const EunomiaService&) = delete;
 
   void Start();
+  // Stops the pipeline. Ops a shard already extracted as stable are flushed
+  // to the sink (in order) even if the global-min gate was still withholding
+  // them; ops still in inboxes or shard cores are dropped, as before.
+  // Because the flush may emit past the global gate, the sorted-emission
+  // guarantee is per Start/Stop cycle: a restarted service may emit retained
+  // ops whose timestamps precede the final flush of the previous cycle.
   void Stop();
 
   // Producer API — callable concurrently from partition threads. Ops inside
   // a batch must be in increasing timestamp order (the partition guarantees
-  // it; Property 2).
+  // it; Property 2). Only valid between Start() and Stop(): submissions
+  // outside that window are dropped (there is no consumer, so buffering
+  // them would grow the inboxes without bound).
   void SubmitBatch(PartitionId partition, std::vector<OpRecord> batch);
   void Heartbeat(PartitionId partition, Timestamp ts);
 
@@ -67,6 +88,13 @@ class EunomiaService {
   std::uint64_t ops_submitted() const {
     return ops_submitted_.load(std::memory_order_relaxed);
   }
+  std::uint32_t num_shards() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  // Heartbeats actually forwarded to the shard cores. A heartbeat is
+  // forwarded only when it advances past the last value forwarded for its
+  // partition, so an idle service does not inflate this on every tick.
+  std::uint64_t heartbeats_forwarded() const;
 
  private:
   struct Inbox {
@@ -75,16 +103,50 @@ class EunomiaService {
     Timestamp heartbeat = 0;
   };
 
-  void StabilizerLoop();
+  struct Shard {
+    explicit Shard(std::uint32_t first, std::uint32_t count)
+        : first_partition(first),
+          num_partitions(count),
+          core(count, first),
+          last_forwarded_hb(count, 0) {}
+
+    const std::uint32_t first_partition;
+    const std::uint32_t num_partitions;
+    EunomiaCore core;  // private to the owning worker thread
+    std::mutex wake_mu;
+    std::condition_variable wake_cv;
+    bool work_pending = false;
+    std::vector<Timestamp> last_forwarded_hb;
+    std::atomic<std::uint64_t> heartbeats_forwarded{0};
+    std::thread thread;
+  };
+
+  // Per-shard state published to the merge stage: the shard's stable time
+  // and its extracted stable ops (a sorted stream).
+  struct MergeStage {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool dirty = false;
+    // Set by Stop() only after every shard thread is joined, so the final
+    // flush cannot run before the last shard's publish.
+    bool shutdown = false;
+    std::vector<Timestamp> shard_stable;
+    std::vector<std::deque<OpRecord>> staged;
+  };
+
+  void ShardLoop(std::uint32_t shard_index);
+  void MergeLoop();
+  void WakeShard(std::uint32_t shard_index);
 
   Options options_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
-  EunomiaCore core_;
-  std::thread stabilizer_;
+  std::vector<std::uint32_t> shard_of_partition_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  MergeStage merge_;
+  std::thread merge_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> ops_stabilized_{0};
   std::atomic<std::uint64_t> ops_submitted_{0};
-  std::vector<OpRecord> stable_buffer_;
 };
 
 class FtEunomiaService {
@@ -107,16 +169,20 @@ class FtEunomiaService {
 
   // Fans the batch out to every live replica (the partition-side
   // ReplicatedSender logic — resend-until-acked — is handled by the caller
-  // via AckOf; see bench/service_driver.h).
+  // via AckOf; see bench/service_driver.h). Only valid between Start() and
+  // Stop(): submissions outside that window are dropped.
   void SubmitBatch(PartitionId partition, const std::vector<OpRecord>& batch);
   void Heartbeat(PartitionId partition, Timestamp ts);
 
   // Latest cumulative ack from `replica` for `partition`; kTimestampMax if
-  // the replica was crashed (callers treat it as "stop buffering for it").
+  // the replica crashed (callers treat it as "stop buffering for it").
+  // Stopping the service is not a crash: after Stop() this still reports the
+  // real ack frontier of every replica.
   Timestamp AckOf(std::uint32_t replica, PartitionId partition) const;
 
   // Crash injection: stops the replica thread; if it was the leader, the
-  // next live replica takes over (lowest id, Omega-style).
+  // next live replica takes over (lowest id, Omega-style). Safe to call from
+  // the leader's own sink callback (self-crash defers the join to Stop).
   void CrashReplica(std::uint32_t replica);
 
   bool AnyReplicaAlive() const;
@@ -133,6 +199,8 @@ class FtEunomiaService {
     std::vector<Timestamp> heartbeats;  // per partition
     std::unique_ptr<EunomiaReplica> logic;
     std::thread thread;
+    // "Not crashed". Independent of the service-running flag: Stop() leaves
+    // it untouched so shutdown is not observed as a failure.
     std::atomic<bool> alive{false};
     std::vector<std::atomic<Timestamp>> acks;  // per partition
     // Stable notices from the leader, applied by followers.

@@ -11,7 +11,7 @@ EunomiaKvSystem::EunomiaKvSystem(sim::Simulator* sim, GeoConfig config)
       config_(std::move(config)),
       network_(sim, config_.network),
       router_(config_.partitions_per_dc),
-      tracker_(config_.timeline_window_us) {
+      tracker_(config_.timeline_window_us, config_.num_dcs) {
   dcs_.resize(config_.num_dcs);
   Rng clock_rng = sim_->rng().Fork(0xC10C);
   for (DatacenterId m = 0; m < config_.num_dcs; ++m) {
@@ -88,9 +88,9 @@ void EunomiaKvSystem::FlushPartition(DatacenterId dc, PartitionId p) {
                     const std::uint64_t cost =
                         config_.costs.eunomia_op_us * batch.size() + 1;
                     dd.eunomia_server->Submit(cost, [this, dc, batch] {
-                      for (const OpRecord& op : batch) {
-                        dcs_[dc].eunomia->AddOp(op);
-                      }
+                      // Per-partition batches are timestamp-ordered: bulk
+                      // insert through the hinted run path.
+                      dcs_[dc].eunomia->AddBatch(batch);
                     });
                   });
     return;

@@ -11,6 +11,7 @@
 // bookkeeping, plus op-completion counters for throughput.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -27,8 +28,14 @@ namespace eunomia::geo {
 class VisibilityTracker {
  public:
   // window_us controls the throughput / latency timeline resolution.
-  explicit VisibilityTracker(std::uint64_t window_us = 1'000'000)
-      : window_us_(window_us), throughput_(window_us) {}
+  // num_datacenters (when > 0) lets the tracker reclaim per-update origin
+  // state once all num_datacenters - 1 destinations reported the update
+  // visible; with 0 the installed records are kept for the whole run.
+  explicit VisibilityTracker(std::uint64_t window_us = 1'000'000,
+                             std::uint32_t num_datacenters = 0)
+      : window_us_(window_us),
+        num_datacenters_(num_datacenters),
+        throughput_(window_us) {}
 
   // --- update lifecycle ------------------------------------------------------
 
@@ -36,7 +43,9 @@ class VisibilityTracker {
   // globally unique update id used on the wire.
   std::uint64_t OnInstalled(DatacenterId origin, std::uint64_t t_us) {
     const std::uint64_t uid = next_uid_++;
-    installed_[uid] = {origin, t_us};
+    const std::uint32_t remaining =
+        num_datacenters_ >= 2 ? num_datacenters_ - 1 : 0;
+    installed_[uid] = {origin, t_us, remaining};
     return uid;
   }
 
@@ -67,10 +76,10 @@ class VisibilityTracker {
     if (inst == installed_.end()) {
       return;
     }
-    const DatacenterId origin = inst->second.first;
+    const DatacenterId origin = inst->second.origin;
     const auto arr = arrivals_.find(PackKey(uid, dc));
     const std::uint64_t arrival =
-        arr != arrivals_.end() ? arr->second : inst->second.second;
+        arr != arrivals_.end() ? arr->second : inst->second.installed_us;
     const std::uint64_t artificial = t_us >= arrival ? t_us - arrival : 0;
     auto& cdf = visibility_[{origin, dc}];
     cdf.Add(static_cast<double>(artificial));
@@ -81,6 +90,12 @@ class VisibilityTracker {
     timeline->RecordValue(t_us, static_cast<double>(artificial));
     if (arr != arrivals_.end()) {
       arrivals_.erase(arr);
+    }
+    // Reclaim the origin record once every destination reported visible —
+    // long runs must not accumulate one entry per update ever installed.
+    if (dc != origin && inst->second.remaining_destinations > 0 &&
+        --inst->second.remaining_destinations == 0) {
+      installed_.erase(inst);
     }
   }
 
@@ -145,16 +160,31 @@ class VisibilityTracker {
   // should be only the tail in flight at the end of a run).
   std::size_t PendingArrivals() const { return arrivals_.size(); }
 
+  // Origin records still held (the in-flight tail when num_datacenters was
+  // given at construction; every update ever installed otherwise).
+  std::size_t TrackedInstalls() const { return installed_.size(); }
+
  private:
+  struct InstalledRecord {
+    DatacenterId origin = 0;
+    std::uint64_t installed_us = 0;
+    // Destinations yet to report visible; 0 means "unknown, keep forever".
+    std::uint32_t remaining_destinations = 0;
+  };
+
   static std::uint64_t PackKey(std::uint64_t uid, DatacenterId dc) {
-    return uid * 64 + dc;  // uids are dense, dc < 64
+    // uids are dense, so shifting them 8 bits keeps the key collision-free
+    // for any dc < 256. (uid * 64 + dc aliased dc >= 64 onto later uids.)
+    assert(dc < 256);
+    return (uid << 8) | dc;
   }
 
   std::uint64_t window_us_;
+  std::uint32_t num_datacenters_;
   std::uint64_t next_uid_ = 0;
   bool detailed_ = false;
   std::unordered_map<std::uint64_t, std::uint64_t> visible_times_;
-  std::unordered_map<std::uint64_t, std::pair<DatacenterId, std::uint64_t>> installed_;
+  std::unordered_map<std::uint64_t, InstalledRecord> installed_;
   std::unordered_map<std::uint64_t, std::uint64_t> arrivals_;
   std::map<std::pair<DatacenterId, DatacenterId>, Cdf> visibility_;
   std::map<std::pair<DatacenterId, DatacenterId>, std::unique_ptr<TimeSeries>>

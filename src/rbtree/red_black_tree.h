@@ -63,32 +63,53 @@ class RedBlackTree {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  // Opaque reference to a tree node, used as an insertion hint for run
+  // inserts. Invalidated by any Erase / ExtractUpTo / Clear.
+  using NodeRef = void*;
+
   // Inserts (key, value); returns false (and leaves the tree unchanged) if
   // the key is already present.
   bool Insert(const Key& key, Value value) {
-    Node* parent = nil_;
-    Node* cur = root_;
-    while (cur != nil_) {
-      parent = cur;
-      if (cmp_(key, cur->key)) {
-        cur = cur->left;
-      } else if (cmp_(cur->key, key)) {
-        cur = cur->right;
-      } else {
-        return false;
+    return InsertDescend(key, std::move(value)) != nullptr;
+  }
+
+  // Insert optimized for increasing runs — the shape of a Eunomia partition
+  // batch. `hint` is the NodeRef returned by the previous insert of the run
+  // (or nullptr to start one). When the hint is the new key's in-order
+  // predecessor the attachment point is found without re-descending from the
+  // root: O(1) for appends past the current maximum and for continuing a run
+  // inside a gap. Any other case falls back to a normal root descent.
+  // Returns the NodeRef of the inserted node, or nullptr if the key was a
+  // duplicate.
+  NodeRef InsertHinted(const Key& key, Value value, NodeRef hint) {
+    Node* h = static_cast<Node*>(hint);
+    if (h == nullptr || !cmp_(h->key, key)) {
+      return InsertDescend(key, std::move(value));
+    }
+    if (h == rightmost_) {
+      // Appending past the maximum: h->right is necessarily nil.
+      return AttachChild(h, /*as_left=*/false, key, std::move(value));
+    }
+    if (h->right != nil_) {
+      Node* succ = Minimum(h->right);
+      if (cmp_(key, succ->key)) {
+        return AttachChild(succ, /*as_left=*/true, key, std::move(value));
       }
+      return InsertDescend(key, std::move(value));
     }
-    Node* node = new Node{key, std::move(value), nil_, nil_, parent, Color::kRed};
-    if (parent == nil_) {
-      root_ = node;
-    } else if (cmp_(key, parent->key)) {
-      parent->left = node;
-    } else {
-      parent->right = node;
+    // No right subtree: the successor is the lowest ancestor of which h lies
+    // in the left subtree (O(1) when h is a left child, which is where run
+    // inserts land).
+    Node* a = h;
+    Node* p = h->parent;
+    while (p != nil_ && a == p->right) {
+      a = p;
+      p = p->parent;
     }
-    ++size_;
-    InsertFixup(node);
-    return true;
+    if (p != nil_ && cmp_(key, p->key)) {
+      return AttachChild(h, /*as_left=*/false, key, std::move(value));
+    }
+    return InsertDescend(key, std::move(value));
   }
 
   // Returns a pointer to the value for key, or nullptr.
@@ -145,6 +166,7 @@ class RedBlackTree {
     ClearImpl(root_);
     root_ = nil_;
     size_ = 0;
+    rightmost_ = nullptr;
   }
 
   // Verifies the red-black invariants; returns false on violation. Used by
@@ -163,10 +185,53 @@ class RedBlackTree {
     root_ = other.root_;
     size_ = other.size_;
     cmp_ = other.cmp_;
+    rightmost_ = other.rightmost_;
     other.nil_ = new Node{Key{}, Value{}, nullptr, nullptr, nullptr, Color::kBlack};
     other.nil_->left = other.nil_->right = other.nil_->parent = other.nil_;
     other.root_ = other.nil_;
     other.size_ = 0;
+    other.rightmost_ = nullptr;
+  }
+
+  // Classic top-down insert; returns the new node, or nullptr on duplicate.
+  Node* InsertDescend(const Key& key, Value value) {
+    Node* parent = nil_;
+    Node* cur = root_;
+    while (cur != nil_) {
+      parent = cur;
+      if (cmp_(key, cur->key)) {
+        cur = cur->left;
+      } else if (cmp_(cur->key, key)) {
+        cur = cur->right;
+      } else {
+        return nullptr;
+      }
+    }
+    if (parent == nil_) {
+      return AttachChild(parent, /*as_left=*/false, key, std::move(value));
+    }
+    return AttachChild(parent, cmp_(key, parent->key), key, std::move(value));
+  }
+
+  // Links a fresh red node below `parent` (which must have a nil slot on the
+  // chosen side; parent == nil_ means "as root") and restores the invariants.
+  Node* AttachChild(Node* parent, bool as_left, const Key& key, Value value) {
+    Node* node = new Node{key, std::move(value), nil_, nil_, parent, Color::kRed};
+    if (parent == nil_) {
+      root_ = node;
+    } else if (as_left) {
+      assert(parent->left == nil_);
+      parent->left = node;
+    } else {
+      assert(parent->right == nil_);
+      parent->right = node;
+    }
+    if (rightmost_ == nullptr || cmp_(rightmost_->key, key)) {
+      rightmost_ = node;
+    }
+    ++size_;
+    InsertFixup(node);
+    return node;
   }
 
   Node* FindNode(const Key& key) const {
@@ -277,6 +342,7 @@ class RedBlackTree {
   }
 
   void EraseNode(Node* z) {
+    const bool was_rightmost = (z == rightmost_);
     Node* y = z;
     Node* x;
     Color y_original = y->color;
@@ -307,6 +373,16 @@ class RedBlackTree {
     if (y_original == Color::kBlack) {
       EraseFixup(x);
     }
+    if (was_rightmost) {
+      rightmost_ = root_ == nil_ ? nullptr : Maximum(root_);
+    }
+  }
+
+  Node* Maximum(Node* node) const {
+    while (node->right != nil_) {
+      node = node->right;
+    }
+    return node;
   }
 
   void EraseFixup(Node* x) {
@@ -407,6 +483,9 @@ class RedBlackTree {
 
   Node* nil_;
   Node* root_;
+  // Cache of the maximum node, so hinted appends past the current maximum
+  // skip the root descent entirely. nullptr when the tree is empty.
+  Node* rightmost_ = nullptr;
   std::size_t size_ = 0;
   Compare cmp_;
 };

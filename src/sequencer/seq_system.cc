@@ -11,7 +11,7 @@ SeqSystem::SeqSystem(sim::Simulator* sim, GeoConfig config, Mode mode)
       mode_(mode),
       network_(sim, config_.network),
       router_(config_.partitions_per_dc),
-      tracker_(config_.timeline_window_us) {
+      tracker_(config_.timeline_window_us, config_.num_dcs) {
   dcs_.resize(config_.num_dcs);
   for (DatacenterId m = 0; m < config_.num_dcs; ++m) {
     Datacenter& dc = dcs_[m];

@@ -119,6 +119,63 @@ TEST(EunomiaCoreTest, CountersTrack) {
   EXPECT_EQ(core.ops_emitted(), 2u);
 }
 
+TEST(EunomiaCoreTest, AddBatchMatchesAddOpLoop) {
+  // The hinted bulk path must be observationally identical to per-op adds.
+  Rng rng(7);
+  EunomiaCore bulk(3);
+  EunomiaCore scalar(3);
+  std::vector<Timestamp> next(3, 0);
+  for (int round = 0; round < 50; ++round) {
+    const auto p = static_cast<PartitionId>(rng.NextBounded(3));
+    std::vector<OpRecord> batch;
+    const std::uint64_t n = 1 + rng.NextBounded(40);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      next[p] += 1 + rng.NextBounded(20);
+      batch.push_back(Op(next[p], p, 0, rng.NextBounded(1000)));
+    }
+    EXPECT_EQ(bulk.AddBatch(batch), batch.size());
+    for (const OpRecord& op : batch) {
+      EXPECT_TRUE(scalar.AddOp(op));
+    }
+  }
+  EXPECT_EQ(bulk.pending_ops(), scalar.pending_ops());
+  EXPECT_EQ(bulk.ops_received(), scalar.ops_received());
+  for (PartitionId p = 0; p < 3; ++p) {
+    bulk.Heartbeat(p, next[p] + 100);
+    scalar.Heartbeat(p, next[p] + 100);
+  }
+  std::vector<OpRecord> bulk_out;
+  std::vector<OpRecord> scalar_out;
+  bulk.ProcessStable(&bulk_out);
+  scalar.ProcessStable(&scalar_out);
+  EXPECT_EQ(bulk_out, scalar_out);
+}
+
+TEST(EunomiaCoreTest, AddBatchDropsNonMonotoneOpsAndContinues) {
+  EunomiaCore core(1);
+  const std::vector<OpRecord> batch = {Op(10, 0), Op(20, 0), Op(15, 0),
+                                       Op(30, 0)};
+  EXPECT_EQ(core.AddBatch(batch), 3u);  // 15 regresses behind 20
+  EXPECT_EQ(core.monotonicity_violations(), 1u);
+  EXPECT_EQ(core.pending_ops(), 3u);
+  EXPECT_EQ(core.partition_time(0), 30u);
+}
+
+TEST(EunomiaCoreTest, PartitionBaseMapsGlobalIdsOntoShardRange) {
+  // A shard core owning global partitions [4, 7) keeps global ids on its
+  // ops and emits them unchanged.
+  EunomiaCore core(3, /*first_partition=*/4);
+  EXPECT_TRUE(core.AddOp(Op(100, 4)));
+  EXPECT_TRUE(core.AddOp(Op(50, 5)));
+  core.Heartbeat(6, 80);
+  EXPECT_EQ(core.partition_time(4), 100u);
+  EXPECT_EQ(core.StableTime(), 50u);
+  std::vector<OpRecord> out;
+  EXPECT_EQ(core.ProcessStable(&out), 1u);
+  EXPECT_EQ(out[0].partition, 5u);
+  EXPECT_EQ(out[0].ts, 50u);
+}
+
 // --- property tests ----------------------------------------------------------
 
 struct Emission {

@@ -194,5 +194,42 @@ TEST(VisibilityTrackerTest, PerPairSeparation) {
   EXPECT_DOUBLE_EQ(tracker.Visibility(1, 2)->Quantile(1.0), 100.0);
 }
 
+TEST(VisibilityTrackerTest, HighDatacenterIdsDoNotAliasAcrossUids) {
+  // Regression: the old key packing (uid * 64 + dc) aliased (uid, dc >= 64)
+  // onto (uid + 1, dc - 64), corrupting per-update bookkeeping.
+  VisibilityTracker tracker;
+  tracker.EnableDetailedLog();
+  const auto u0 = tracker.OnInstalled(0, 0);
+  const auto u1 = tracker.OnInstalled(0, 0);
+  tracker.OnRemoteArrival(u0, 64, 100);
+  tracker.OnRemoteVisible(u0, 64, 130);
+  // With the aliasing bug, u0's records landed on (u1, dc 0).
+  EXPECT_EQ(tracker.VisibleAt(u0, 64), std::optional<std::uint64_t>(130));
+  EXPECT_FALSE(tracker.VisibleAt(u1, 0).has_value());
+  ASSERT_NE(tracker.Visibility(0, 64), nullptr);
+  EXPECT_DOUBLE_EQ(tracker.Visibility(0, 64)->Quantile(1.0), 30.0);
+  EXPECT_EQ(tracker.PendingArrivals(), 0u);
+}
+
+TEST(VisibilityTrackerTest, InstalledRecordsReclaimedOnceFullyVisible) {
+  // Regression: installed_ grew one entry per update for the whole run.
+  // With the datacenter count known, the origin record is dropped once all
+  // num_dcs - 1 destinations reported visible.
+  VisibilityTracker tracker(1'000'000, /*num_datacenters=*/3);
+  const auto uid = tracker.OnInstalled(0, 0);
+  EXPECT_EQ(tracker.TrackedInstalls(), 1u);
+  tracker.OnRemoteArrival(uid, 1, 10);
+  tracker.OnRemoteVisible(uid, 1, 25);
+  EXPECT_EQ(tracker.TrackedInstalls(), 1u);  // datacenter 2 still pending
+  tracker.OnRemoteArrival(uid, 2, 12);
+  tracker.OnRemoteVisible(uid, 2, 40);
+  EXPECT_EQ(tracker.TrackedInstalls(), 0u);
+  // Both visibility samples were still recorded before reclamation.
+  ASSERT_NE(tracker.Visibility(0, 1), nullptr);
+  ASSERT_NE(tracker.Visibility(0, 2), nullptr);
+  EXPECT_EQ(tracker.Visibility(0, 1)->count(), 1u);
+  EXPECT_EQ(tracker.Visibility(0, 2)->count(), 1u);
+}
+
 }  // namespace
 }  // namespace eunomia::geo

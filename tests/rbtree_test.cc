@@ -4,6 +4,7 @@
 // invariant checks after every mutation batch.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <vector>
@@ -192,6 +193,82 @@ TYPED_TEST(OrderedBufferTest, AscendingInsertStaysBalanced) {
   EXPECT_EQ(tree.ExtractUpTo(9999, &out), 10000u);
   EXPECT_TRUE(tree.Validate());
   EXPECT_EQ(tree.size(), 10000u);
+}
+
+TEST(RedBlackTreeTest, InsertHintedAppendsAndInGapRuns) {
+  RedBlackTree<std::uint64_t, std::uint64_t> tree;
+  // Appending run: every insert hinted by the previous one.
+  RedBlackTree<std::uint64_t, std::uint64_t>::NodeRef hint = nullptr;
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    hint = tree.InsertHinted(k * 10, k, hint);
+    ASSERT_NE(hint, nullptr);
+  }
+  EXPECT_TRUE(tree.Validate());
+  // In-gap run between existing keys 500 and 510.
+  hint = nullptr;
+  for (std::uint64_t k = 501; k < 510; ++k) {
+    hint = tree.InsertHinted(k, k, hint);
+    ASSERT_NE(hint, nullptr);
+  }
+  EXPECT_TRUE(tree.Validate());
+  // Duplicate through the hinted path is still rejected.
+  EXPECT_EQ(tree.InsertHinted(505, 0, hint), nullptr);
+  EXPECT_EQ(tree.size(), 1009u);
+  std::vector<std::uint64_t> keys;
+  tree.ForEach([&](const std::uint64_t& k, const std::uint64_t&) {
+    keys.push_back(k);
+  });
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(RedBlackTreeTest, InsertHintedRandomRunsMatchReference) {
+  // Interleaved monotone runs with stale/wrong hints and periodic
+  // extraction — the shape AddBatch produces — must keep the invariants and
+  // the exact contents of a std::map reference.
+  RedBlackTree<std::uint64_t, std::uint64_t> tree;
+  std::map<std::uint64_t, std::uint64_t> reference;
+  Rng rng(99);
+  std::uint64_t next_key = 1;
+  for (int round = 0; round < 400; ++round) {
+    if (rng.NextBounded(10) < 7) {
+      // A monotone run starting at a random point past the extraction
+      // frontier, hinted insert per element.
+      std::uint64_t k = next_key + rng.NextBounded(50);
+      RedBlackTree<std::uint64_t, std::uint64_t>::NodeRef hint = nullptr;
+      const std::uint64_t len = 1 + rng.NextBounded(30);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        k += 1 + rng.NextBounded(5);
+        const auto ref = tree.InsertHinted(k, k * 2, hint);
+        const bool inserted_ref = reference.emplace(k, k * 2).second;
+        ASSERT_EQ(ref != nullptr, inserted_ref);
+        if (ref != nullptr) {
+          hint = ref;
+        }
+        next_key = std::max(next_key, k);
+      }
+    } else {
+      // Extraction invalidates all hints (runs above restart from nullptr).
+      const std::uint64_t bound = next_key / 2 + rng.NextBounded(next_key + 1);
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+      tree.ExtractUpTo(bound, &out);
+      std::size_t erased = 0;
+      for (auto it = reference.begin();
+           it != reference.end() && it->first <= bound;) {
+        it = reference.erase(it);
+        ++erased;
+      }
+      ASSERT_EQ(out.size(), erased);
+    }
+    ASSERT_TRUE(tree.Validate());
+  }
+  ASSERT_EQ(tree.size(), reference.size());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> contents;
+  tree.ForEach([&](const std::uint64_t& k, const std::uint64_t& v) {
+    contents.emplace_back(k, v);
+  });
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> expected(
+      reference.begin(), reference.end());
+  EXPECT_EQ(contents, expected);
 }
 
 TEST(RedBlackTreeTest, ValidateDetectsHealthyTreeAfterHeavyChurn) {
