@@ -8,6 +8,16 @@
 // mostly-ascending timestamped inserts from N interleaved partition streams,
 // punctuated by periodic ExtractUpTo(stable_time) bulk removals. std::map
 // (the library red-black tree) is included as a sanity reference.
+//
+// Two tiers:
+//   - BM_OrdBuf*: the three OrderedBuffer policies (src/ordbuf/) driven
+//     through the concept interface the core actually uses — per-partition
+//     monotone Append + emit-callback ExtractUpTo. This is the three-way
+//     A1 comparison: the paper's red-black tree, the AVL also-ran, and the
+//     PartitionRunBuffer fast path that exploits Property 2 (O(1) ring
+//     appends + tournament-merge extraction).
+//   - BM_RedBlackTree/BM_AvlTree/BM_StdMap: the raw trees through their
+//     Insert/ExtractUpTo interface, kept as the historical §6 comparison.
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -15,6 +25,9 @@
 
 #include "src/common/random.h"
 #include "src/eunomia/op.h"
+#include "src/ordbuf/avl_buffer.h"
+#include "src/ordbuf/partition_run_buffer.h"
+#include "src/ordbuf/rbtree_buffer.h"
 #include "src/rbtree/avl_tree.h"
 #include "src/rbtree/red_black_tree.h"
 
@@ -106,6 +119,61 @@ void BM_StdMap(benchmark::State& state) { RunInsertExtract<StdMapBuffer>(state);
 BENCHMARK(BM_RedBlackTree)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AvlTree)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_StdMap)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// --- the three-way OrderedBuffer policy comparison ---------------------------
+// Same workload shape, but through the concept interface EunomiaCore uses:
+// per-partition monotone Append, periodic emit-callback extraction at the
+// partition frontier. This is the number the §6 design choice actually
+// gates: stabilizer insert+extract throughput.
+
+template <typename Buffer>
+void RunBufferInsertExtract(benchmark::State& state) {
+  const auto partitions = static_cast<std::uint32_t>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Buffer buf(partitions);
+    StreamGen gen(partitions, 42);
+    std::vector<std::uint64_t> out;
+    state.ResumeTiming();
+    for (int round = 0; round < static_cast<int>(state.range(0)); ++round) {
+      for (int i = 0; i < kBatch; ++i) {
+        buf.Append(gen.NextKey(), 0);
+      }
+      out.clear();
+      buf.ExtractUpTo(OpOrderKey{gen.MinFrontier(), ~PartitionId{0}},
+                      [&out](const OpOrderKey&, std::uint64_t&& v) {
+                        out.push_back(v);
+                      });
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.counters["ops"] = benchmark::Counter(
+      static_cast<double>(state.range(0)) * kBatch *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_OrdBufRbTree(benchmark::State& state) {
+  RunBufferInsertExtract<ordbuf::RbTreeBuffer<std::uint64_t>>(state);
+}
+void BM_OrdBufAvl(benchmark::State& state) {
+  RunBufferInsertExtract<ordbuf::AvlBuffer<std::uint64_t>>(state);
+}
+void BM_OrdBufPartitionRun(benchmark::State& state) {
+  RunBufferInsertExtract<ordbuf::PartitionRunBuffer<std::uint64_t>>(state);
+}
+
+// Args: {rounds, partitions}. 32 partitions matches the historical tree
+// bench; 60 is the paper's Fig. 2 saturation point.
+BENCHMARK(BM_OrdBufRbTree)
+    ->Args({256, 32})->Args({1024, 32})->Args({1024, 60})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OrdBufAvl)
+    ->Args({256, 32})->Args({1024, 32})->Args({1024, 60})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OrdBufPartitionRun)
+    ->Args({256, 32})->Args({1024, 32})->Args({1024, 60})
+    ->Unit(benchmark::kMillisecond);
 
 // Pure ascending-insert throughput (the degenerate hot path when one
 // partition dominates).

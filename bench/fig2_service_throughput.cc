@@ -26,17 +26,23 @@
 // to 75 partitions.
 // A third part measures the *native multithreaded service* (the sharded
 // stabilizer pipeline): producers race a fixed op count into EunomiaService
-// at num_shards = 1/2/4/8 and we report stabilized ops/sec — the scaling
-// curve the sharding refactor buys. `--smoke` runs only that part with a
-// tiny op count (CI exercises the pipeline on every push).
+// across num_shards and ordered-buffer backends (the §6 red-black tree, the
+// AVL also-ran, and the Property-2 run-queue fast path) and we report
+// stabilized ops/sec — the scaling curve the sharding refactor buys plus the
+// speedup the buffer policy buys on top. The scan is also emitted as
+// machine-readable BENCH_fig2.json (in the working directory) so CI can
+// archive the perf trajectory PR-over-PR. `--smoke` runs only that part
+// with a tiny op count (CI exercises the pipeline on every push).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/service_driver.h"
 #include "src/eunomia/core.h"
 #include "src/eunomia/service.h"
+#include "src/ordbuf/ordered_buffer.h"
 #include "src/harness/table.h"
 #include "src/sim/network.h"
 #include "src/sim/server.h"
@@ -49,10 +55,10 @@ using harness::Table;
 
 // --- part 1: native EunomiaCore microbenchmark -------------------------------
 
-double MeasureCoreIngest() {
+double MeasureCoreIngest(ordbuf::Backend backend) {
   constexpr std::uint32_t kParts = 60;
   constexpr std::uint64_t kOps = 2'000'000;
-  EunomiaCore core(kParts);
+  EunomiaCore core(kParts, 0, backend);
   std::vector<Timestamp> next(kParts, 1);
   std::vector<OpRecord> out;
   out.reserve(1 << 16);
@@ -202,7 +208,44 @@ double SimulateSequencer(std::uint32_t clients) {
   return static_cast<double>(granted) / (static_cast<double>(kRunUs) / 1e6);
 }
 
-// --- part 3: native sharded-service scaling ----------------------------------
+// --- part 3: native sharded-service scaling x buffer backend -----------------
+
+struct ScanPoint {
+  ordbuf::Backend backend;
+  std::uint32_t shards;
+  double ops_per_sec;
+};
+
+// The machine-readable perf-trajectory artifact CI archives on every push:
+// stabilized throughput per (buffer backend, shard count).
+void WriteBenchJson(const char* path, bool smoke,
+                    const std::vector<ScanPoint>& points,
+                    const bench::FixedLoad& load) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("WARNING: could not write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"figure\": \"fig2_service_throughput\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"default_backend\": \"%s\",\n",
+               ordbuf::BackendName(ordbuf::Backend::kPartitionRun));
+  std::fprintf(f, "  \"num_partitions\": %u,\n", load.num_partitions);
+  std::fprintf(f, "  \"ops_per_partition\": %llu,\n",
+               static_cast<unsigned long long>(load.ops_per_partition));
+  std::fprintf(f, "  \"series\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"backend\": \"%s\", \"shards\": %u, "
+                 "\"mops_per_s\": %.3f}%s\n",
+                 ordbuf::BackendName(points[i].backend), points[i].shards,
+                 points[i].ops_per_sec / 1e6, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu scan points)\n", path, points.size());
+}
 
 // Returns false if any configuration failed to stabilize its load (the CI
 // smoke step must go red on a stalled pipeline, not print a zero row).
@@ -215,26 +258,54 @@ bool RunShardScan(bool smoke) {
   const std::vector<std::uint32_t> shard_counts =
       smoke ? std::vector<std::uint32_t>{1u, 4u}
             : std::vector<std::uint32_t>{1u, 2u, 4u, 8u};
+  // The three-way ordered-buffer comparison end-to-end; smoke keeps CI cheap
+  // with the two backends the equivalence test pins against each other.
+  const std::vector<ordbuf::Backend> backends =
+      smoke ? std::vector<ordbuf::Backend>{ordbuf::Backend::kRbTree,
+                                           ordbuf::Backend::kPartitionRun}
+            : std::vector<ordbuf::Backend>{ordbuf::Backend::kRbTree,
+                                           ordbuf::Backend::kAvl,
+                                           ordbuf::Backend::kPartitionRun};
   std::printf(
       "\nnative sharded stabilizer pipeline: %u producer partitions race "
-      "%llu ops each\n",
+      "%llu ops each\n(buffer backend x num_shards; speedups vs the rbtree "
+      "1-shard baseline)\n",
       load.num_partitions,
       static_cast<unsigned long long>(load.ops_per_partition));
-  Table table({"num_shards", "stabilized (kops/s)", "speedup vs 1 shard"});
-  double base = 0.0;
+  Table table({"buffer", "num_shards", "stabilized (kops/s)", "speedup"});
+  std::vector<ScanPoint> points;
+  double rbtree_1shard = 0.0;
+  double runqueue_1shard = 0.0;
   bool all_converged = true;
-  for (const std::uint32_t shards : shard_counts) {
-    const double rate = bench::MeasureShardedThroughput(shards, load);
-    if (rate <= 0.0) {
-      all_converged = false;
+  for (const ordbuf::Backend backend : backends) {
+    for (const std::uint32_t shards : shard_counts) {
+      const double rate =
+          bench::MeasureShardedThroughput(shards, load, 200, backend);
+      if (rate <= 0.0) {
+        all_converged = false;
+      }
+      if (backend == ordbuf::Backend::kRbTree && shards == 1) {
+        rbtree_1shard = rate;
+      }
+      if (backend == ordbuf::Backend::kPartitionRun && shards == 1) {
+        runqueue_1shard = rate;
+      }
+      points.push_back({backend, shards, rate});
+      table.AddRow({ordbuf::BackendName(backend), Table::Num(shards, 0),
+                    Table::Num(rate / 1000.0, 0),
+                    rbtree_1shard > 0
+                        ? Table::Num(rate / rbtree_1shard, 2) + "x"
+                        : "n/a"});
     }
-    if (shards == 1) {
-      base = rate;
-    }
-    table.AddRow({Table::Num(shards, 0), Table::Num(rate / 1000.0, 0),
-                  base > 0 ? Table::Num(rate / base, 2) + "x" : "n/a"});
   }
   table.Print();
+  if (rbtree_1shard > 0 && runqueue_1shard > 0) {
+    std::printf(
+        "\nsingle-shard ordered-buffer speedup (partition_run vs rbtree): "
+        "%.2fx\n",
+        runqueue_1shard / rbtree_1shard);
+  }
+  WriteBenchJson("BENCH_fig2.json", smoke, points, load);
   if (!all_converged) {
     std::printf("ERROR: a shard configuration did not stabilize its load\n");
   }
@@ -251,13 +322,18 @@ int Run(bool smoke) {
     return RunShardScan(/*smoke=*/true) ? 0 : 1;
   }
 
-  const double core_rate = MeasureCoreIngest();
+  const double rbtree_core = MeasureCoreIngest(ordbuf::Backend::kRbTree);
+  const double runqueue_core =
+      MeasureCoreIngest(ordbuf::Backend::kPartitionRun);
   std::printf(
-      "\nnative EunomiaCore (red-black tree) ingest+stabilize rate: %.1f "
-      "Mops/s\n=> the ordering core is ~2 orders of magnitude faster than "
+      "\nnative EunomiaCore ingest+stabilize rate:\n"
+      "  rbtree (the paper's §6 buffer): %.1f Mops/s\n"
+      "  partition_run (Property-2 run queues): %.1f Mops/s (%.2fx)\n"
+      "=> the ordering core is ~2 orders of magnitude faster than "
       "the end-to-end service;\n   the bottleneck is message handling and "
       "propagation, as §7.1 observes.\n",
-      core_rate / 1e6);
+      rbtree_core / 1e6, runqueue_core / 1e6,
+      rbtree_core > 0 ? runqueue_core / rbtree_core : 0.0);
 
   Table table({"partitions/clients", "Eunomia (kops/s)", "Sequencer (kops/s)",
                "ratio"});

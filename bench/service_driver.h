@@ -52,17 +52,22 @@ std::uint64_t ProducePartitionLoad(Service& service, PartitionId p,
                                    std::uint64_t max_ops,
                                    std::uint64_t deadline_us) {
   HybridClock clock;
-  std::vector<OpRecord> batch;
-  batch.reserve(ops_per_batch);
   std::uint64_t produced = 0;
   while (produced < max_ops && NowMicros() < deadline_us) {
-    batch.clear();
+    // EunomiaService recycles drained batch vectors through a free-list;
+    // take one back (capacity intact) instead of allocating per interval.
+    // Services without a pool (the FT fan-out) fall back to a fresh vector.
+    std::vector<OpRecord> batch;
+    if constexpr (requires { service.AcquireBatchBuffer(); }) {
+      batch = service.AcquireBatchBuffer();
+    }
+    batch.reserve(ops_per_batch);
     const std::uint64_t n = std::min(ops_per_batch, max_ops - produced);
     for (std::uint64_t i = 0; i < n; ++i) {
       batch.push_back(OpRecord{clock.TimestampUpdate(NowMicros(), 0), p, 0, 0});
     }
     produced += n;
-    service.SubmitBatch(p, batch);
+    service.SubmitBatch(p, std::move(batch));
     if (batch_interval_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(batch_interval_us));
     }
@@ -155,14 +160,16 @@ double MeasureStabilizedThroughput(Service& service, const FixedLoad& load) {
 }
 
 // Convenience wrapper: native EunomiaService with `num_shards` stabilizer
-// workers (the Options knob the sharded pipeline adds).
-inline double MeasureShardedThroughput(std::uint32_t num_shards,
-                                       const FixedLoad& load,
-                                       std::uint64_t stable_period_us = 200) {
+// workers and the given ordered-buffer backend behind each shard core.
+inline double MeasureShardedThroughput(
+    std::uint32_t num_shards, const FixedLoad& load,
+    std::uint64_t stable_period_us = 200,
+    ordbuf::Backend backend = ordbuf::Backend::kPartitionRun) {
   EunomiaService::Options options;
   options.num_partitions = load.num_partitions;
   options.num_shards = num_shards;
   options.stable_period_us = stable_period_us;
+  options.buffer_backend = backend;
   EunomiaService service(options);
   return MeasureStabilizedThroughput(service, load);
 }

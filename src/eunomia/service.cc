@@ -32,7 +32,7 @@ EunomiaService::EunomiaService(Options options) : options_(std::move(options)) {
   std::uint32_t first = 0;
   for (std::uint32_t s = 0; s < shards; ++s) {
     const std::uint32_t count = base + (s < rem ? 1 : 0);
-    shards_.push_back(std::make_unique<Shard>(first, count));
+    shards_.push_back(std::make_unique<Shard>(first, count, options_.buffer_backend));
     for (std::uint32_t p = first; p < first + count; ++p) {
       shard_of_partition_[p] = s;
     }
@@ -109,6 +109,28 @@ void EunomiaService::Heartbeat(PartitionId partition, Timestamp ts) {
   WakeShard(shard_of_partition_[partition]);
 }
 
+std::vector<OpRecord> EunomiaService::AcquireBatchBuffer() {
+  std::lock_guard<std::mutex> lock(batch_pool_.mu);
+  if (batch_pool_.free.empty()) {
+    return {};
+  }
+  std::vector<OpRecord> buffer = std::move(batch_pool_.free.back());
+  batch_pool_.free.pop_back();
+  return buffer;
+}
+
+void EunomiaService::RecycleBatches(std::vector<std::vector<OpRecord>>* drained) {
+  std::lock_guard<std::mutex> lock(batch_pool_.mu);
+  for (auto& batch : *drained) {
+    if (batch_pool_.free.size() >= kBatchPoolCap) {
+      break;
+    }
+    batch.clear();  // keep the capacity, drop the ops
+    batch_pool_.free.push_back(std::move(batch));
+  }
+  // Anything past the cap is destroyed with *drained as usual.
+}
+
 std::uint64_t EunomiaService::heartbeats_forwarded() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
@@ -129,6 +151,7 @@ void EunomiaService::WakeShard(std::uint32_t shard_index) {
 void EunomiaService::ShardLoop(std::uint32_t shard_index) {
   Shard& shard = *shards_[shard_index];
   std::vector<std::vector<OpRecord>> drained;
+  std::vector<std::vector<OpRecord>> recycle;
   std::vector<OpRecord> stable_ops;
   while (running_.load(std::memory_order_relaxed)) {
     {
@@ -155,8 +178,9 @@ void EunomiaService::ShardLoop(std::uint32_t shard_index) {
         drained.swap(inbox.batches);
         hb = inbox.heartbeat;
       }
-      for (const auto& batch : drained) {
+      for (auto& batch : drained) {
         shard.core.AddBatch(batch);
+        recycle.push_back(std::move(batch));
       }
       drained.clear();
       Timestamp& forwarded = shard.last_forwarded_hb[p - shard.first_partition];
@@ -165,6 +189,12 @@ void EunomiaService::ShardLoop(std::uint32_t shard_index) {
         forwarded = hb;
         shard.heartbeats_forwarded.fetch_add(1, std::memory_order_relaxed);
       }
+    }
+    // Return drained batch capacity to producers — one pool-lock per tick,
+    // not one per partition.
+    if (!recycle.empty()) {
+      RecycleBatches(&recycle);
+      recycle.clear();
     }
     // PROCESS_STABLE on the shard, then publish to the merge stage. The
     // extracted ops all have ts <= shard_stable; the merge stage withholds
@@ -271,7 +301,8 @@ FtEunomiaService::FtEunomiaService(Options options) : options_(std::move(options
   for (std::uint32_t r = 0; r < options_.num_replicas; ++r) {
     auto state = std::make_unique<ReplicaState>();
     state->heartbeats.assign(options_.num_partitions, 0);
-    state->logic = std::make_unique<EunomiaReplica>(r, options_.num_partitions);
+    state->logic = std::make_unique<EunomiaReplica>(r, options_.num_partitions,
+                                                    options_.buffer_backend);
     state->acks = std::vector<std::atomic<Timestamp>>(options_.num_partitions);
     for (auto& a : state->acks) {
       a.store(0, std::memory_order_relaxed);
@@ -307,16 +338,21 @@ void FtEunomiaService::Stop() {
 }
 
 void FtEunomiaService::SubmitBatch(PartitionId partition,
-                                   const std::vector<OpRecord>& batch) {
+                                   std::vector<OpRecord> batch) {
   if (!running_.load(std::memory_order_relaxed)) {
     return;  // replica threads are gone; inboxes would grow unboundedly
   }
+  // One immutable batch shared by every replica inbox: replicas only read
+  // batches (NewBatch takes a span), so the per-replica deep copies the
+  // fan-out used to make were pure waste.
+  const SharedBatch shared =
+      std::make_shared<const std::vector<OpRecord>>(std::move(batch));
   for (auto& replica : replicas_) {
     if (!replica->alive.load(std::memory_order_relaxed)) {
       continue;
     }
     std::lock_guard<std::mutex> lock(replica->mu);
-    replica->batches.emplace_back(partition, batch);  // deliberate copy per replica
+    replica->batches.emplace_back(partition, shared);
   }
 }
 
@@ -384,7 +420,7 @@ std::optional<std::uint32_t> FtEunomiaService::CurrentLeader() const {
 
 void FtEunomiaService::ReplicaLoop(std::uint32_t replica_id) {
   ReplicaState& state = *replicas_[replica_id];
-  std::vector<std::pair<PartitionId, std::vector<OpRecord>>> drained;
+  std::vector<std::pair<PartitionId, SharedBatch>> drained;
   std::vector<Timestamp> heartbeats(options_.num_partitions, 0);
   std::vector<Timestamp> forwarded_hb(options_.num_partitions, 0);
   Timestamp applied_notice = 0;
@@ -398,7 +434,7 @@ void FtEunomiaService::ReplicaLoop(std::uint32_t replica_id) {
     }
     // NEW_BATCH per Alg. 4: dedup against PartitionTime_f, then cumulative ack.
     for (auto& [partition, batch] : drained) {
-      const Timestamp ack = state.logic->NewBatch(batch, partition);
+      const Timestamp ack = state.logic->NewBatch(*batch, partition);
       state.acks[partition].store(ack, std::memory_order_relaxed);
     }
     drained.clear();

@@ -56,6 +56,9 @@ class EunomiaService {
     // owns a contiguous partition range and a private EunomiaCore.
     std::uint32_t num_shards = 1;
     std::uint64_t stable_period_us = 500;  // theta (fallback wakeup period)
+    // Ordered-buffer policy backing every shard core. The run-queue layout
+    // is the fast path; the tree backends pin the §6 design choice.
+    ordbuf::Backend buffer_backend = ordbuf::Backend::kPartitionRun;
     StableSink sink;
   };
 
@@ -82,6 +85,12 @@ class EunomiaService {
   void SubmitBatch(PartitionId partition, std::vector<OpRecord> batch);
   void Heartbeat(PartitionId partition, Timestamp ts);
 
+  // Returns an empty batch vector recycled from the shard pipeline (with its
+  // previous capacity intact), or a fresh one if the free-list is empty.
+  // Producers that submit continuously can pair this with SubmitBatch to
+  // stop allocating a new vector per batch interval.
+  std::vector<OpRecord> AcquireBatchBuffer();
+
   std::uint64_t ops_stabilized() const {
     return ops_stabilized_.load(std::memory_order_relaxed);
   }
@@ -104,10 +113,10 @@ class EunomiaService {
   };
 
   struct Shard {
-    explicit Shard(std::uint32_t first, std::uint32_t count)
+    Shard(std::uint32_t first, std::uint32_t count, ordbuf::Backend backend)
         : first_partition(first),
           num_partitions(count),
-          core(count, first),
+          core(count, first, backend),
           last_forwarded_hb(count, 0) {}
 
     const std::uint32_t first_partition;
@@ -134,12 +143,23 @@ class EunomiaService {
     std::vector<std::deque<OpRecord>> staged;
   };
 
+  // Drained inbox batch vectors are recycled through this small free-list
+  // instead of being destroyed every tick; AcquireBatchBuffer hands their
+  // capacity back to producers.
+  struct BatchPool {
+    std::mutex mu;
+    std::vector<std::vector<OpRecord>> free;
+  };
+  static constexpr std::size_t kBatchPoolCap = 64;
+
   void ShardLoop(std::uint32_t shard_index);
   void MergeLoop();
   void WakeShard(std::uint32_t shard_index);
+  void RecycleBatches(std::vector<std::vector<OpRecord>>* drained);
 
   Options options_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
+  BatchPool batch_pool_;
   std::vector<std::uint32_t> shard_of_partition_;
   std::vector<std::unique_ptr<Shard>> shards_;
   MergeStage merge_;
@@ -155,6 +175,8 @@ class FtEunomiaService {
     std::uint32_t num_partitions = 1;
     std::uint32_t num_replicas = 3;
     std::uint64_t stable_period_us = 500;  // theta
+    // Ordered-buffer policy backing every replica's core.
+    ordbuf::Backend buffer_backend = ordbuf::Backend::kPartitionRun;
     StableSink sink;  // invoked by whichever replica is currently leader
   };
 
@@ -167,11 +189,12 @@ class FtEunomiaService {
   void Start();
   void Stop();
 
-  // Fans the batch out to every live replica (the partition-side
-  // ReplicatedSender logic — resend-until-acked — is handled by the caller
-  // via AckOf; see bench/service_driver.h). Only valid between Start() and
-  // Stop(): submissions outside that window are dropped.
-  void SubmitBatch(PartitionId partition, const std::vector<OpRecord>& batch);
+  // Fans the batch out to every live replica as one shared immutable copy
+  // (the partition-side ReplicatedSender logic — resend-until-acked — is
+  // handled by the caller via AckOf; see bench/service_driver.h). Only
+  // valid between Start() and Stop(): submissions outside that window are
+  // dropped. Moving the batch in avoids even the single copy.
+  void SubmitBatch(PartitionId partition, std::vector<OpRecord> batch);
   void Heartbeat(PartitionId partition, Timestamp ts);
 
   // Latest cumulative ack from `replica` for `partition`; kTimestampMax if
@@ -193,9 +216,14 @@ class FtEunomiaService {
   }
 
  private:
+  // Batches are fanned out to every replica as one shared immutable vector
+  // (replicas only read them through NewBatch's span), so SubmitBatch pays
+  // one copy total instead of one per replica.
+  using SharedBatch = std::shared_ptr<const std::vector<OpRecord>>;
+
   struct ReplicaState {
     std::mutex mu;
-    std::vector<std::pair<PartitionId, std::vector<OpRecord>>> batches;
+    std::vector<std::pair<PartitionId, SharedBatch>> batches;
     std::vector<Timestamp> heartbeats;  // per partition
     std::unique_ptr<EunomiaReplica> logic;
     std::thread thread;

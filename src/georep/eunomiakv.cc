@@ -36,7 +36,9 @@ EunomiaKvSystem::EunomiaKvSystem(sim::Simulator* sim, GeoConfig config)
       part.hybrid = PartitionedHybridClock(p, config_.partitions_per_dc);
       part.comm_interval_us = config_.batch_interval_us;
     }
-    dc.eunomia = std::make_unique<EunomiaCore>(config_.partitions_per_dc);
+    dc.eunomia = std::make_unique<EunomiaCore>(config_.partitions_per_dc,
+                                               /*first_partition=*/0,
+                                               config_.eunomia_buffer);
     dc.eunomia_server = std::make_unique<sim::Server>(sim_);
     dc.eunomia_endpoint = network_.Register(m);
     dc.receiver_server = std::make_unique<sim::Server>(sim_);

@@ -1,0 +1,70 @@
+// Incrementally maintained minimum over a fixed-size array of timestamps.
+//
+// EunomiaCore evaluates min(PartitionTime) on every stabilization tick
+// (Alg. 3 line 8). A flat std::min_element scan is O(P) per tick; this
+// complete binary tournament makes the min an O(1) read, with O(log P) —
+// and usually far less, the climb stops at the first unchanged ancestor —
+// work per PartitionTime update.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace eunomia::ordbuf {
+
+class MinTournament {
+ public:
+  explicit MinTournament(std::uint32_t n, Timestamp init = kTimestampZero)
+      : n_(n == 0 ? 1 : n) {
+    cap_ = 1;
+    while (cap_ < n_) {
+      cap_ <<= 1;
+    }
+    // Leaves live at [cap_, 2 * cap_); the padding beyond n_ holds
+    // kTimestampMax so it can never win the tournament.
+    nodes_.assign(2 * cap_, kTimestampMax);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      nodes_[cap_ + i] = init;
+    }
+    for (std::uint32_t t = cap_ - 1; t >= 1; --t) {
+      nodes_[t] = std::min(nodes_[2 * t], nodes_[2 * t + 1]);
+    }
+  }
+
+  std::uint32_t size() const { return n_; }
+
+  Timestamp Get(std::uint32_t i) const {
+    assert(i < n_);
+    return nodes_[cap_ + i];
+  }
+
+  // O(1): the root holds min over all n entries. (With a single leaf the
+  // "root" is the leaf itself at index 1.)
+  Timestamp Min() const { return nodes_[1]; }
+
+  void Set(std::uint32_t i, Timestamp v) {
+    assert(i < n_);
+    std::uint32_t t = cap_ + i;
+    if (nodes_[t] == v) {
+      return;
+    }
+    nodes_[t] = v;
+    for (t >>= 1; t >= 1; t >>= 1) {
+      const Timestamp m = std::min(nodes_[2 * t], nodes_[2 * t + 1]);
+      if (nodes_[t] == m) {
+        break;  // ancestors unchanged from here up
+      }
+      nodes_[t] = m;
+    }
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t cap_ = 1;
+  std::vector<Timestamp> nodes_;
+};
+
+}  // namespace eunomia::ordbuf

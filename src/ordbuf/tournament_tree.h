@@ -1,0 +1,93 @@
+// Tournament tree for the k-way merge over per-partition run heads.
+//
+// A complete binary tournament over k entrants: each internal node stores
+// the *winner* (smallest head key) of its subtree, so the global minimum is
+// an O(1) read at the root and a single leaf-to-root replay — one match per
+// level, O(log k) — repairs the tree after any one run's head key changes.
+//
+// Why winners and not Knuth's loser variant: the classic loser tree replays
+// correctly only from the leaf of the *previous winner* (replacement
+// selection always replaces the winner's head). Our buffer also has to
+// repair the tree when an idle (empty) run revives on append — an arbitrary
+// leaf whose key just dropped from +infinity — and the loser replay is
+// unsound there (the revived leaf can meet itself stored as a loser on its
+// own path and eject the true winner). Storing winners makes the same
+// replay valid for every single-leaf change, at the cost of one extra key
+// lookup per level; with keys sitting in a flat index array, that is noise
+// next to what the merge saves over per-insert tree rebalancing.
+//
+// The tree stores only run indices. Keys are read on demand through the
+// KeyFn passed to each call: KeyFn(run) returns a pointer to the run's
+// current head key, or nullptr for an exhausted run (nullptr compares as
+// +infinity, so empty runs sink to the bottom of the tournament). Run
+// indices at and beyond the entrant count are padding; KeyFn must report
+// them as nullptr too.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eunomia::ordbuf {
+
+class MergeTournament {
+ public:
+  // `runs` entrants; rounded up internally to a power of two.
+  explicit MergeTournament(std::uint32_t runs) : runs_(runs == 0 ? 1 : runs) {
+    cap_ = 1;
+    while (cap_ < runs_) {
+      cap_ <<= 1;
+    }
+    nodes_.assign(cap_, 0);
+  }
+
+  std::uint32_t runs() const { return runs_; }
+
+  // The run holding the globally smallest head key. Ties cannot occur
+  // between non-empty runs (keys are unique); among empty runs the winner
+  // is arbitrary — callers check the winning run's head before using it.
+  std::uint32_t Winner() const { return cap_ == 1 ? 0 : nodes_[1]; }
+
+  // Full rebuild: plays every match bottom-up. O(k); used at construction.
+  template <typename KeyFn>
+  void Rebuild(const KeyFn& key_of) {
+    for (std::uint32_t t = cap_ - 1; t >= 1; --t) {
+      nodes_[t] = Match(Entrant(2 * t), Entrant(2 * t + 1), key_of);
+    }
+  }
+
+  // Replays the path from leaf `run` to the root after that run's head key
+  // changed (pop, or an empty run receiving its first element). O(log k).
+  template <typename KeyFn>
+  void Update(std::uint32_t run, const KeyFn& key_of) {
+    for (std::uint32_t t = cap_ + run; t > 1; t >>= 1) {
+      nodes_[t >> 1] = Match(Entrant(t), Entrant(t ^ 1), key_of);
+    }
+  }
+
+ private:
+  // Subtree winner at node x: leaves are implicit (leaf i at cap_ + i).
+  std::uint32_t Entrant(std::uint32_t x) const {
+    return x >= cap_ ? x - cap_ : nodes_[x];
+  }
+
+  template <typename KeyFn>
+  static std::uint32_t Match(std::uint32_t a, std::uint32_t b, const KeyFn& key_of) {
+    const auto* kb = key_of(b);
+    if (kb == nullptr) {
+      return a;
+    }
+    const auto* ka = key_of(a);
+    if (ka == nullptr) {
+      return b;
+    }
+    return *kb < *ka ? b : a;
+  }
+
+  std::uint32_t runs_;
+  std::uint32_t cap_ = 1;
+  // nodes_[t], t in [1, cap_): the winning run index of the subtree rooted
+  // at t. nodes_[0] unused.
+  std::vector<std::uint32_t> nodes_;
+};
+
+}  // namespace eunomia::ordbuf

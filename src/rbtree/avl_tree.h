@@ -97,7 +97,11 @@ class AvlTree {
     return cur->key;
   }
 
-  std::size_t ExtractUpTo(const Key& bound, std::vector<std::pair<Key, Value>>* out) {
+  // Callback form mirroring RedBlackTree::ExtractUpToEmit: removes every
+  // element with key <= bound, emitting each as emit(const Key&, Value&&) in
+  // ascending key order.
+  template <typename Emit>
+  std::size_t ExtractUpToEmit(const Key& bound, Emit&& emit) {
     std::size_t extracted = 0;
     while (root_ != nullptr) {
       Node* min = root_;
@@ -107,14 +111,21 @@ class AvlTree {
       if (cmp_(bound, min->key)) {
         break;
       }
-      out->emplace_back(min->key, std::move(min->value));
+      const Key key = min->key;  // EraseImpl below frees the node
+      emit(static_cast<const Key&>(key), std::move(min->value));
       bool erased = false;
-      root_ = EraseImpl(root_, out->back().first, &erased);
+      root_ = EraseImpl(root_, key, &erased);
       assert(erased);
       --size_;
       ++extracted;
     }
     return extracted;
+  }
+
+  std::size_t ExtractUpTo(const Key& bound, std::vector<std::pair<Key, Value>>* out) {
+    return ExtractUpToEmit(bound, [out](const Key& key, Value&& value) {
+      out->emplace_back(key, std::move(value));
+    });
   }
 
   template <typename Fn>

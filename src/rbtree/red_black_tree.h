@@ -140,20 +140,29 @@ class RedBlackTree {
   }
 
   // The Eunomia stability operation: removes every element with key <= bound
-  // and appends them, in ascending key order, to *out. Returns the number of
-  // elements extracted. O(k log n) for k extracted elements.
-  std::size_t ExtractUpTo(const Key& bound, std::vector<std::pair<Key, Value>>* out) {
+  // and hands each to emit(const Key&, Value&&) in ascending key order.
+  // Returns the number of elements extracted. O(k log n) for k extracted
+  // elements. The callback form lets callers write extracted values straight
+  // into their destination without staging (key, value) pairs.
+  template <typename Emit>
+  std::size_t ExtractUpToEmit(const Key& bound, Emit&& emit) {
     std::size_t extracted = 0;
     while (root_ != nil_) {
       Node* min = Minimum(root_);
       if (cmp_(bound, min->key)) {  // min > bound
         break;
       }
-      out->emplace_back(min->key, std::move(min->value));
+      emit(static_cast<const Key&>(min->key), std::move(min->value));
       EraseNode(min);
       ++extracted;
     }
     return extracted;
+  }
+
+  std::size_t ExtractUpTo(const Key& bound, std::vector<std::pair<Key, Value>>* out) {
+    return ExtractUpToEmit(bound, [out](const Key& key, Value&& value) {
+      out->emplace_back(key, std::move(value));
+    });
   }
 
   // In-order visit of all elements (used by tests and the traversal bench).
