@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/flags.h"
 #include "src/georep/eunomiakv.h"
 #include "src/harness/geo_experiment.h"
 #include "src/harness/table.h"
@@ -103,7 +104,12 @@ void Run() {
 }  // namespace
 }  // namespace eunomia
 
-int main() {
+int main(int argc, char** argv) {
+  // No flags yet; the shared parser still rejects typos loudly.
+  eunomia::bench::Flags flags(argc, argv, {});
+  if (!flags.ok()) {
+    return flags.FailUsage();
+  }
   eunomia::Run();
   return 0;
 }

@@ -33,15 +33,24 @@
 // machine-readable BENCH_fig2.json (in the working directory) so CI can
 // archive the perf trajectory PR-over-PR. `--smoke` runs only that part
 // with a tiny op count (CI exercises the pipeline on every push).
+// A fourth part (`--transport=tcp` or `--transport=loopback`) measures the
+// same fixed load submitted through the src/net/ stack — one EunomiaClient
+// connection per partition into an EunomiaServer, over real loopback TCP
+// sockets (or the in-process LoopbackTransport, isolating the wire-format
+// cost from the kernel's) — so the throughput curve includes a real socket
+// hop and lands in BENCH_fig2.json next to the in-process numbers.
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench/flags.h"
+#include "bench/net_driver.h"
 #include "bench/service_driver.h"
 #include "src/eunomia/core.h"
 #include "src/eunomia/service.h"
+#include "src/net/loopback_transport.h"
+#include "src/net/tcp_transport.h"
 #include "src/ordbuf/ordered_buffer.h"
 #include "src/harness/table.h"
 #include "src/sim/network.h"
@@ -214,6 +223,9 @@ struct ScanPoint {
   ordbuf::Backend backend;
   std::uint32_t shards;
   double ops_per_sec;
+  // "inproc" for direct SubmitBatch calls, else the net transport used.
+  const char* transport = "inproc";
+  double ack_mean_us = -1.0;  // mean batch-ack round trip; < 0 = n/a
 };
 
 // The machine-readable perf-trajectory artifact CI archives on every push:
@@ -238,23 +250,32 @@ void WriteBenchJson(const char* path, bool smoke,
   for (std::size_t i = 0; i < points.size(); ++i) {
     std::fprintf(f,
                  "    {\"backend\": \"%s\", \"shards\": %u, "
-                 "\"mops_per_s\": %.3f}%s\n",
+                 "\"transport\": \"%s\", \"mops_per_s\": %.3f",
                  ordbuf::BackendName(points[i].backend), points[i].shards,
-                 points[i].ops_per_sec / 1e6, i + 1 < points.size() ? "," : "");
+                 points[i].transport, points[i].ops_per_sec / 1e6);
+    if (points[i].ack_mean_us >= 0.0) {
+      std::fprintf(f, ", \"ack_mean_us\": %.1f", points[i].ack_mean_us);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s (%zu scan points)\n", path, points.size());
 }
 
-// Returns false if any configuration failed to stabilize its load (the CI
-// smoke step must go red on a stalled pipeline, not print a zero row).
-bool RunShardScan(bool smoke) {
+bench::FixedLoad MakeScanLoad(bool smoke) {
   bench::FixedLoad load;
   if (smoke) {
     load.num_partitions = 8;
     load.ops_per_partition = 5'000;
   }
+  return load;
+}
+
+// Returns false if any configuration failed to stabilize its load (the CI
+// smoke step must go red on a stalled pipeline, not print a zero row).
+bool RunShardScan(bool smoke, std::vector<ScanPoint>* points) {
+  const bench::FixedLoad load = MakeScanLoad(smoke);
   const std::vector<std::uint32_t> shard_counts =
       smoke ? std::vector<std::uint32_t>{1u, 4u}
             : std::vector<std::uint32_t>{1u, 2u, 4u, 8u};
@@ -273,7 +294,6 @@ bool RunShardScan(bool smoke) {
       load.num_partitions,
       static_cast<unsigned long long>(load.ops_per_partition));
   Table table({"buffer", "num_shards", "stabilized (kops/s)", "speedup"});
-  std::vector<ScanPoint> points;
   double rbtree_1shard = 0.0;
   double runqueue_1shard = 0.0;
   bool all_converged = true;
@@ -290,7 +310,7 @@ bool RunShardScan(bool smoke) {
       if (backend == ordbuf::Backend::kPartitionRun && shards == 1) {
         runqueue_1shard = rate;
       }
-      points.push_back({backend, shards, rate});
+      points->push_back({backend, shards, rate, "inproc", -1.0});
       table.AddRow({ordbuf::BackendName(backend), Table::Num(shards, 0),
                     Table::Num(rate / 1000.0, 0),
                     rbtree_1shard > 0
@@ -305,21 +325,78 @@ bool RunShardScan(bool smoke) {
         "%.2fx\n",
         runqueue_1shard / rbtree_1shard);
   }
-  WriteBenchJson("BENCH_fig2.json", smoke, points, load);
   if (!all_converged) {
     std::printf("ERROR: a shard configuration did not stabilize its load\n");
   }
   return all_converged;
 }
 
-int Run(bool smoke) {
+// --- part 4: the same load through the src/net/ transport stack --------------
+
+// `kind` is "tcp" (real loopback sockets) or "loopback" (the in-process
+// transport backend — same wire format and session layer, no kernel).
+// One client connection per partition; the partition_run backend (the
+// default everywhere) behind the service.
+bool RunTransportScan(const std::string& kind, bool smoke,
+                      std::vector<ScanPoint>* points) {
+  const bench::FixedLoad load = MakeScanLoad(smoke);
+  const std::vector<std::uint32_t> shard_counts =
+      smoke ? std::vector<std::uint32_t>{1u, 4u}
+            : std::vector<std::uint32_t>{1u, 2u, 4u, 8u};
+  std::printf(
+      "\nnetworked service (%s transport): %u client connections race "
+      "%llu ops each\nthrough net::EunomiaClient -> eunomiad-style "
+      "net::EunomiaServer (partition_run buffer)\n",
+      kind.c_str(), load.num_partitions,
+      static_cast<unsigned long long>(load.ops_per_partition));
+  Table table({"transport", "num_shards", "stabilized (kops/s)",
+               "ack mean (us)", "ack max (us)"});
+  bool all_converged = true;
+  for (const std::uint32_t shards : shard_counts) {
+    // Fresh transport per run: EunomiaServer::Stop shuts its transport down.
+    bench::TransportRunResult result;
+    if (kind == "tcp") {
+      net::TcpTransport transport;
+      result = bench::MeasureTransportThroughput(transport, "127.0.0.1:0",
+                                                 shards, load);
+    } else {
+      net::LoopbackTransport transport;
+      result = bench::MeasureTransportThroughput(transport, "fig2", shards,
+                                                 load);
+    }
+    if (result.ops_per_sec <= 0.0) {
+      all_converged = false;
+    }
+    points->push_back({ordbuf::Backend::kPartitionRun, shards,
+                       result.ops_per_sec, kind == "tcp" ? "tcp" : "loopback",
+                       result.ack_latency_us.mean()});
+    table.AddRow({kind, Table::Num(shards, 0),
+                  Table::Num(result.ops_per_sec / 1000.0, 0),
+                  Table::Num(result.ack_latency_us.mean(), 0),
+                  Table::Num(result.ack_latency_us.max(), 0)});
+  }
+  table.Print();
+  if (!all_converged) {
+    std::printf("ERROR: a transport configuration did not stabilize its load\n");
+  }
+  return all_converged;
+}
+
+int Run(bool smoke, const std::string& transport) {
   harness::PrintBanner(
       "Figure 2: maximum throughput, Eunomia vs a synchronous sequencer",
       "clients connect directly to the services (each client = one "
       "partition); Eunomia batches 1 ms off the critical path");
 
+  std::vector<ScanPoint> points;
   if (smoke) {
-    return RunShardScan(/*smoke=*/true) ? 0 : 1;
+    bool ok = RunShardScan(/*smoke=*/true, &points);
+    if (transport != "inproc") {
+      ok = RunTransportScan(transport, /*smoke=*/true, &points) && ok;
+    }
+    WriteBenchJson("BENCH_fig2.json", /*smoke=*/true, points,
+                   MakeScanLoad(true));
+    return ok ? 0 : 1;
   }
 
   const double rbtree_core = MeasureCoreIngest(ordbuf::Backend::kRbTree);
@@ -354,18 +431,29 @@ int Run(bool smoke) {
       "clients (7.7x). peak measured ratio: %.1fx\n",
       peak_ratio);
 
-  return RunShardScan(/*smoke=*/false) ? 0 : 1;
+  bool ok = RunShardScan(/*smoke=*/false, &points);
+  if (transport != "inproc") {
+    ok = RunTransportScan(transport, /*smoke=*/false, &points) && ok;
+  }
+  WriteBenchJson("BENCH_fig2.json", /*smoke=*/false, points,
+                 MakeScanLoad(false));
+  return ok ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace eunomia
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    }
+  eunomia::bench::Flags flags(argc, argv, {"smoke", "transport"});
+  if (!flags.ok()) {
+    return flags.FailUsage();
   }
-  return eunomia::Run(smoke);
+  const std::string transport = flags.Get("transport", "inproc");
+  if (transport != "inproc" && transport != "tcp" && transport != "loopback") {
+    std::fprintf(stderr,
+                 "--transport must be inproc, tcp or loopback (got '%s')\n",
+                 transport.c_str());
+    return 2;
+  }
+  return eunomia::Run(flags.smoke(), transport);
 }

@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench/flags.h"
 #include "bench/service_driver.h"
 #include "src/eunomia/replica.h"
 #include "src/eunomia/service.h"
@@ -267,6 +268,11 @@ int Run() {
 }  // namespace
 }  // namespace eunomia
 
-int main() {
+int main(int argc, char** argv) {
+  // No flags yet; the shared parser still rejects typos loudly.
+  eunomia::bench::Flags flags(argc, argv, {});
+  if (!flags.ok()) {
+    return flags.FailUsage();
+  }
   return eunomia::Run();
 }

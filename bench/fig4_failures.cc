@@ -15,6 +15,7 @@
 #include <mutex>
 #include <vector>
 
+#include "bench/flags.h"
 #include "bench/service_driver.h"
 #include "src/common/stats.h"
 #include "src/eunomia/service.h"
@@ -126,7 +127,12 @@ void Run() {
 }  // namespace
 }  // namespace eunomia
 
-int main() {
+int main(int argc, char** argv) {
+  // No flags yet; the shared parser still rejects typos loudly.
+  eunomia::bench::Flags flags(argc, argv, {});
+  if (!flags.ok()) {
+    return flags.FailUsage();
+  }
   eunomia::Run();
   return 0;
 }

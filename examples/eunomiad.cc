@@ -1,0 +1,225 @@
+// eunomiad — the standalone Eunomia service daemon.
+//
+// Hosts an EunomiaService (or, with --ft, an FtEunomiaService) behind a
+// real TCP listener, turning the in-process stabilizer into the networked
+// service the paper deploys (§6–§7: partitions connect to Eunomia over
+// FIFO links and push batched operations; the stable stream comes back in
+// global (ts, partition) order). Remote partitions use net::EunomiaClient.
+//
+//   eunomiad --port=7777 --partitions=16 --shards=4 --buffer=partition_run
+//   eunomiad --ft --replicas=3 --partitions=8
+//
+// Flags:
+//   --host=A           listen address       (default 127.0.0.1)
+//   --port=N           listen port          (default 7777; 0 = ephemeral)
+//   --partitions=N     partitions served    (default 16)
+//   --shards=N         stabilizer shards    (default 4, non-FT only)
+//   --buffer=NAME      partition_run | rbtree | avl (default partition_run)
+//   --period-us=N      stabilization fallback period (default 500)
+//   --ft               fault-tolerant service (replicated, Alg. 4)
+//   --replicas=N       FT replica count     (default 3)
+//   --smoke            self-drive: bind an ephemeral port, run a small
+//                      multi-connection workload through net::EunomiaClient
+//                      over real sockets, verify the stable stream arrives
+//                      complete and in order, exit 0/1. Used by ctest/CI.
+//
+// The daemon runs until SIGINT/SIGTERM, printing a stats line every few
+// seconds (connections, ops received, ops stabilized).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/flags.h"
+#include "src/net/eunomia_client.h"
+#include "src/net/eunomia_server.h"
+#include "src/net/tcp_transport.h"
+#include "src/ordbuf/ordered_buffer.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+bool ParseBackend(const std::string& name, eunomia::ordbuf::Backend* backend) {
+  using eunomia::ordbuf::Backend;
+  if (name == "partition_run") {
+    *backend = Backend::kPartitionRun;
+  } else if (name == "rbtree") {
+    *backend = Backend::kRbTree;
+  } else if (name == "avl") {
+    *backend = Backend::kAvl;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// The ctest/CI smoke path: everything in-process, but every byte crosses a
+// real loopback socket. Verifies the end-to-end contract: N connections of
+// interleaved batches in, one complete stable stream out, in (ts, partition)
+// order.
+int RunSmoke(eunomia::net::EunomiaServer::Options options) {
+  using namespace eunomia;
+  options.num_partitions = 4;
+  options.stable_period_us = 200;
+  net::TcpTransport transport;
+  net::EunomiaServer server(&transport, options);
+  const std::string address = server.Start("127.0.0.1:0");
+  if (address.empty()) {
+    std::fprintf(stderr, "eunomiad --smoke: could not bind a port\n");
+    return 1;
+  }
+  std::printf("eunomiad --smoke: serving on %s\n", address.c_str());
+
+  std::mutex mu;
+  std::vector<OpRecord> stable;
+  net::EunomiaClient::Options sub_options;
+  sub_options.subscribe = true;
+  sub_options.on_stable = [&](const std::vector<OpRecord>& ops) {
+    std::lock_guard<std::mutex> lock(mu);
+    stable.insert(stable.end(), ops.begin(), ops.end());
+  };
+  net::EunomiaClient subscriber(&transport, address, sub_options);
+  if (!subscriber.Connect()) {
+    std::fprintf(stderr, "eunomiad --smoke: subscriber failed to connect\n");
+    return 1;
+  }
+
+  constexpr std::uint32_t kBatches = 50;
+  constexpr std::uint32_t kOpsPerBatch = 100;
+  const std::uint64_t total = 4ull * kBatches * kOpsPerBatch;
+  std::vector<std::thread> producers;
+  std::atomic<bool> ok{true};
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    producers.emplace_back([&, p] {
+      net::EunomiaClient client(&transport, address, {});
+      if (!client.Connect()) {
+        ok.store(false);
+        return;
+      }
+      for (std::uint32_t b = 0; b < kBatches && ok.load(); ++b) {
+        std::vector<OpRecord> batch;
+        for (std::uint32_t i = 0; i < kOpsPerBatch; ++i) {
+          const Timestamp ts =
+              static_cast<Timestamp>(b * kOpsPerBatch + i + 1) * 5 + p;
+          batch.push_back(OpRecord{ts, p, ts, b});
+        }
+        if (!client.SubmitBatch(p, std::move(batch))) {
+          ok.store(false);
+        }
+      }
+      client.Heartbeat(p, 1'000'000'000'000ULL);
+      if (!client.WaitForAcks()) {
+        ok.store(false);
+      }
+      client.Close();
+    });
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (subscriber.stable_ops_received() < total &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  bool ordered = true;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = 1; i < stable.size(); ++i) {
+      if (!(OrderKeyOf(stable[i - 1]) < OrderKeyOf(stable[i]))) {
+        ordered = false;
+      }
+    }
+  }
+  const std::uint64_t received = subscriber.stable_ops_received();
+  const bool stream_ok = !subscriber.stream_broken();
+  subscriber.Close();
+  server.Stop();
+  if (!ok.load() || received != total || !ordered || !stream_ok) {
+    std::fprintf(stderr,
+                 "eunomiad --smoke: FAILED (clients ok=%d, received %llu/%llu, "
+                 "ordered=%d, stream intact=%d)\n",
+                 ok.load() ? 1 : 0, static_cast<unsigned long long>(received),
+                 static_cast<unsigned long long>(total), ordered ? 1 : 0,
+                 stream_ok ? 1 : 0);
+    return 1;
+  }
+  std::printf(
+      "eunomiad --smoke: OK — %llu ops over %u TCP connections, stable "
+      "stream complete and in (ts, partition) order\n",
+      static_cast<unsigned long long>(total), 4u);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  eunomia::bench::Flags flags(
+      argc, argv,
+      {"host", "port", "partitions", "shards", "buffer", "period-us", "ft",
+       "replicas", "smoke"});
+  if (!flags.ok()) {
+    return flags.FailUsage();
+  }
+  eunomia::net::EunomiaServer::Options options;
+  options.fault_tolerant = flags.Has("ft");
+  options.num_partitions =
+      static_cast<std::uint32_t>(flags.GetUint("partitions", 16));
+  options.num_shards = static_cast<std::uint32_t>(flags.GetUint("shards", 4));
+  options.num_replicas =
+      static_cast<std::uint32_t>(flags.GetUint("replicas", 3));
+  options.stable_period_us = flags.GetUint("period-us", 500);
+  if (!ParseBackend(flags.Get("buffer", "partition_run"),
+                    &options.buffer_backend)) {
+    std::fprintf(stderr,
+                 "--buffer must be partition_run, rbtree or avl (got '%s')\n",
+                 flags.Get("buffer", "partition_run").c_str());
+    return 2;
+  }
+  if (flags.smoke()) {
+    return RunSmoke(options);
+  }
+
+  const std::string address = flags.Get("host", "127.0.0.1") + ":" +
+                              std::to_string(flags.GetUint("port", 7777));
+  eunomia::net::TcpTransport transport;
+  eunomia::net::EunomiaServer server(&transport, options);
+  const std::string bound = server.Start(address);
+  if (bound.empty()) {
+    std::fprintf(stderr, "eunomiad: could not listen on %s\n", address.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("eunomiad: serving %u partitions on %s (%s, %s)\n",
+              options.num_partitions, bound.c_str(),
+              options.fault_tolerant ? "fault-tolerant" : "sharded",
+              eunomia::ordbuf::BackendName(options.buffer_backend));
+  std::uint64_t last_stabilized = 0;
+  int tick = 0;
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    if (++tick % 25 == 0) {  // every ~5 s
+      const std::uint64_t stabilized = server.ops_stabilized();
+      std::printf(
+          "eunomiad: connections=%llu ops_received=%llu stabilized=%llu "
+          "(+%llu)\n",
+          static_cast<unsigned long long>(server.connections_accepted()),
+          static_cast<unsigned long long>(server.ops_submitted_remote()),
+          static_cast<unsigned long long>(stabilized),
+          static_cast<unsigned long long>(stabilized - last_stabilized));
+      last_stabilized = stabilized;
+    }
+  }
+  std::printf("eunomiad: shutting down\n");
+  server.Stop();
+  return 0;
+}

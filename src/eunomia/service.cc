@@ -14,10 +14,44 @@ void SleepMicros(std::uint64_t us) {
 
 }  // namespace
 
+// --- StableFanout ------------------------------------------------------------
+
+void StableFanout::AddListener(StableSink listener) {
+  if (!listener) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  auto next = listeners_ ? std::make_shared<std::vector<StableSink>>(*listeners_)
+                         : std::make_shared<std::vector<StableSink>>();
+  next->push_back(std::move(listener));
+  listeners_ = std::move(next);
+}
+
+void StableFanout::Emit(const std::vector<OpRecord>& ops) {
+  // emit_mu_ makes the whole fanout of one batch atomic with respect to
+  // other emitters, so a failover's momentary second leader cannot
+  // interleave its batch into a listener mid-delivery.
+  std::lock_guard<std::mutex> emit_lock(emit_mu_);
+  if (sink_) {
+    sink_(ops);
+  }
+  std::shared_ptr<const std::vector<StableSink>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    listeners = listeners_;
+  }
+  if (listeners) {
+    for (const StableSink& listener : *listeners) {
+      listener(ops);
+    }
+  }
+}
+
 // --- EunomiaService ----------------------------------------------------------
 
 EunomiaService::EunomiaService(Options options) : options_(std::move(options)) {
   assert(options_.num_partitions >= 1);
+  fanout_.SetSink(options_.sink);
   const std::uint32_t partitions = options_.num_partitions;
   const std::uint32_t shards =
       std::clamp<std::uint32_t>(options_.num_shards, 1, partitions);
@@ -45,6 +79,7 @@ EunomiaService::EunomiaService(Options options) : options_(std::move(options)) {
 EunomiaService::~EunomiaService() { Stop(); }
 
 void EunomiaService::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (running_.exchange(true)) {
     return;
   }
@@ -59,6 +94,10 @@ void EunomiaService::Start() {
 }
 
 void EunomiaService::Stop() {
+  // Serialized with Start and with other Stop callers: a second concurrent
+  // Stop blocks here until the pipeline is fully down instead of returning
+  // while threads are still draining.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (!running_.exchange(false)) {
     return;
   }
@@ -107,6 +146,10 @@ void EunomiaService::Heartbeat(PartitionId partition, Timestamp ts) {
     inbox.heartbeat = std::max(inbox.heartbeat, ts);
   }
   WakeShard(shard_of_partition_[partition]);
+}
+
+void EunomiaService::AddStableListener(StableSink listener) {
+  fanout_.AddListener(std::move(listener));
 }
 
 std::vector<OpRecord> EunomiaService::AcquireBatchBuffer() {
@@ -283,9 +326,7 @@ void EunomiaService::MergeLoop() {
     }
     if (!emit.empty()) {
       ops_stabilized_.fetch_add(emit.size(), std::memory_order_relaxed);
-      if (options_.sink) {
-        options_.sink(emit);
-      }
+      fanout_.Emit(emit);
     }
     if (shutting_down) {
       break;
@@ -297,6 +338,7 @@ void EunomiaService::MergeLoop() {
 
 FtEunomiaService::FtEunomiaService(Options options) : options_(std::move(options)) {
   assert(options_.num_replicas >= 1);
+  fanout_.SetSink(options_.sink);
   replicas_.reserve(options_.num_replicas);
   for (std::uint32_t r = 0; r < options_.num_replicas; ++r) {
     auto state = std::make_unique<ReplicaState>();
@@ -314,6 +356,7 @@ FtEunomiaService::FtEunomiaService(Options options) : options_(std::move(options
 FtEunomiaService::~FtEunomiaService() { Stop(); }
 
 void FtEunomiaService::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (running_.exchange(true)) {
     return;
   }
@@ -325,6 +368,7 @@ void FtEunomiaService::Start() {
 }
 
 void FtEunomiaService::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
   if (!running_.exchange(false)) {
     return;
   }
@@ -335,6 +379,10 @@ void FtEunomiaService::Stop() {
       replica->thread.join();
     }
   }
+}
+
+void FtEunomiaService::AddStableListener(StableSink listener) {
+  fanout_.AddListener(std::move(listener));
 }
 
 void FtEunomiaService::SubmitBatch(PartitionId partition,
@@ -481,9 +529,7 @@ void FtEunomiaService::ReplicaLoop(std::uint32_t replica_id) {
       }
       if (result.emitted > 0) {
         ops_stabilized_.fetch_add(result.emitted, std::memory_order_relaxed);
-        if (options_.sink) {
-          options_.sink(stable_ops);
-        }
+        fanout_.Emit(stable_ops);
       }
     }
     SleepMicros(options_.stable_period_us);

@@ -48,6 +48,24 @@ namespace eunomia {
 // May be empty; the service then just counts.
 using StableSink = std::function<void(const std::vector<OpRecord>&)>;
 
+// Shared stable-stream fanout used by both service variants: the primary
+// Options sink plus a copy-on-write registry of added listeners. Emit
+// serializes concurrent emitters (the FT service can briefly have two
+// replicas believing they lead during a failover; subscribers must still
+// observe one totally ordered stream).
+class StableFanout {
+ public:
+  void SetSink(StableSink sink) { sink_ = std::move(sink); }
+  void AddListener(StableSink listener);
+  void Emit(const std::vector<OpRecord>& ops);
+
+ private:
+  StableSink sink_;
+  std::mutex emit_mu_;
+  std::mutex listener_mu_;
+  std::shared_ptr<const std::vector<StableSink>> listeners_;
+};
+
 class EunomiaService {
  public:
   struct Options {
@@ -68,6 +86,11 @@ class EunomiaService {
   EunomiaService(const EunomiaService&) = delete;
   EunomiaService& operator=(const EunomiaService&) = delete;
 
+  // Start/Stop are serialized and idempotent: concurrent callers block until
+  // the transition completes, repeated calls are no-ops. A remote frontend
+  // (src/net/) may race disconnecting clients against shutdown, so Stop must
+  // be safe against concurrent SubmitBatch/Heartbeat — late calls are
+  // dropped, never crash.
   void Start();
   // Stops the pipeline. Ops a shard already extracted as stable are flushed
   // to the sink (in order) even if the global-min gate was still withholding
@@ -76,6 +99,16 @@ class EunomiaService {
   // guarantee is per Start/Stop cycle: a restarted service may emit retained
   // ops whose timestamps precede the final flush of the previous cycle.
   void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  // Registers an additional consumer of the stable stream, invoked after the
+  // Options sink with the same batches in the same order (on the merge
+  // thread). This is the fanout point remote frontends use to attach
+  // subscribers without owning the service's primary sink. Listeners cannot
+  // be removed — a frontend installs one listener and multiplexes its own
+  // dynamic subscriber set behind it.
+  void AddStableListener(StableSink listener);
 
   // Producer API — callable concurrently from partition threads. Ops inside
   // a batch must be in increasing timestamp order (the partition guarantees
@@ -158,6 +191,10 @@ class EunomiaService {
   void RecycleBatches(std::vector<std::vector<OpRecord>>* drained);
 
   Options options_;
+  // Serializes Start/Stop so concurrent lifecycle calls cannot interleave
+  // with thread spawning/joining.
+  std::mutex lifecycle_mu_;
+  StableFanout fanout_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   BatchPool batch_pool_;
   std::vector<std::uint32_t> shard_of_partition_;
@@ -186,8 +223,16 @@ class FtEunomiaService {
   FtEunomiaService(const FtEunomiaService&) = delete;
   FtEunomiaService& operator=(const FtEunomiaService&) = delete;
 
+  // Serialized and idempotent, like the non-FT service: safe against
+  // concurrent SubmitBatch from disconnecting remote clients.
   void Start();
   void Stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  // Same contract as EunomiaService::AddStableListener; invoked by whichever
+  // replica is currently leader, after the Options sink.
+  void AddStableListener(StableSink listener);
 
   // Fans the batch out to every live replica as one shared immutable copy
   // (the partition-side ReplicatedSender logic — resend-until-acked — is
@@ -239,6 +284,8 @@ class FtEunomiaService {
   void RecomputeLeader();
 
   Options options_;
+  std::mutex lifecycle_mu_;
+  StableFanout fanout_;
   std::vector<std::unique_ptr<ReplicaState>> replicas_;
   std::atomic<bool> running_{false};
   std::atomic<std::int32_t> leader_{0};  // -1 when none alive

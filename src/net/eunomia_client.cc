@@ -1,0 +1,340 @@
+#include "src/net/eunomia_client.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace eunomia::net {
+
+namespace {
+
+std::uint64_t NowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+// The connection handlers capture a shared_ptr to this, so it outlives the
+// EunomiaClient wrapper: a producer can Close() and destroy the client
+// while the transport is still delivering the connection's last frames or
+// its on_close.
+struct EunomiaClient::Session {
+  explicit Session(Options opts) : options(std::move(opts)) {}
+
+  const Options options;
+
+  std::shared_ptr<Connection> connection;  // set by Connect (wrapper thread)
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  bool hello_acked = false;
+  bool subscribe_acked = false;
+  std::uint64_t ops_submitted = 0;  // guarded by mu; written by the producer
+  std::uint64_t ops_acked = 0;
+  // (submission cumulative-op target, send time) of unacked batches, for
+  // ack round-trip latency.
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> inflight_batches;
+  OnlineStats ack_latency_us;
+  // Next expected stable stream sequence; unset until the first
+  // SubscribeAck or StableBatch (whichever the races deliver first).
+  bool stream_seq_known = false;
+  std::uint64_t next_stream_seq = 0;
+  std::uint32_t server_partitions = 0;
+
+  std::atomic<bool> connected{false};
+  std::atomic<bool> disconnected{false};
+  std::atomic<bool> stream_broken{false};
+  std::atomic<std::uint64_t> stable_ops_received{0};
+
+  void OnFrame(wire::Frame&& frame);
+  void OnDisconnected() {
+    disconnected.store(true, std::memory_order_release);
+    connected.store(false, std::memory_order_release);
+    cv.notify_all();
+  }
+  // A protocol violation from the server: flag the session dead. The
+  // connection itself is torn down by Close()/transport Shutdown — touching
+  // `connection` here would race Connect()'s write of it on another thread.
+  void FailSession() { OnDisconnected(); }
+};
+
+void EunomiaClient::Session::OnFrame(wire::Frame&& frame) {
+  if (disconnected.load(std::memory_order_acquire)) {
+    return;  // session already failed: ignore whatever else arrives
+  }
+  switch (frame.type) {
+    case wire::MsgType::kHelloAck: {
+      wire::HelloAckMsg ack;
+      if (!wire::DecodeHelloAck(frame.payload, &ack) ||
+          ack.protocol_version != wire::kProtocolVersion) {
+        FailSession();
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        server_partitions = ack.num_partitions;
+        hello_acked = true;
+      }
+      cv.notify_all();
+      return;
+    }
+    case wire::MsgType::kSubmitAck: {
+      wire::SubmitAckMsg ack;
+      if (!wire::DecodeSubmitAck(frame.payload, &ack)) {
+        FailSession();
+        return;
+      }
+      const std::uint64_t now = NowMicros();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ops_acked = std::max(ops_acked, ack.ops_received);
+        while (!inflight_batches.empty() &&
+               inflight_batches.front().first <= ops_acked) {
+          ack_latency_us.Add(
+              static_cast<double>(now - inflight_batches.front().second));
+          inflight_batches.pop_front();
+        }
+      }
+      cv.notify_all();
+      return;
+    }
+    case wire::MsgType::kSubscribeAck: {
+      wire::SubscribeAckMsg ack;
+      if (!wire::DecodeSubscribeAck(frame.payload, &ack)) {
+        FailSession();
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        // A StableBatch can legitimately overtake the SubscribeAck (they
+        // come from different server threads); only adopt the ack's base if
+        // no batch established one yet.
+        if (!stream_seq_known) {
+          stream_seq_known = true;
+          next_stream_seq = ack.next_stream_seq;
+        }
+        subscribe_acked = true;
+      }
+      cv.notify_all();
+      return;
+    }
+    case wire::MsgType::kStableBatch: {
+      wire::StableBatchMsg msg;
+      if (!wire::DecodeStableBatch(frame.payload, &msg)) {
+        FailSession();
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stream_seq_known && msg.stream_seq != next_stream_seq) {
+          stream_broken.store(true, std::memory_order_release);
+        }
+        stream_seq_known = true;
+        next_stream_seq = msg.stream_seq + 1;
+      }
+      stable_ops_received.fetch_add(msg.ops.size(), std::memory_order_relaxed);
+      if (options.on_stable) {
+        options.on_stable(msg.ops);
+      }
+      return;
+    }
+    default:
+      // Client-to-server types from the server: protocol violation.
+      FailSession();
+      return;
+  }
+}
+
+EunomiaClient::EunomiaClient(Transport* transport, std::string address,
+                             Options options)
+    : transport_(transport),
+      address_(std::move(address)),
+      session_(std::make_shared<Session>(std::move(options))) {}
+
+EunomiaClient::~EunomiaClient() { Close(); }
+
+bool EunomiaClient::Connect() {
+  if (session_->connected.load(std::memory_order_acquire)) {
+    return true;
+  }
+  // A failed handshake poisons the session (one connection per client):
+  // the connection is closed and the session marked disconnected, so a
+  // mistaken retry fails fast instead of racing the first dial's late
+  // frames into fresh handshake state.
+  const auto fail = [this] {
+    session_->OnDisconnected();
+    if (session_->connection != nullptr) {
+      session_->connection->Close();
+    }
+    return false;
+  };
+  if (session_->disconnected.load(std::memory_order_acquire)) {
+    return false;
+  }
+  ConnectionHandler handler;
+  // The closures share ownership of the session; `this` is never captured.
+  handler.on_frame = [session = session_](Connection&, wire::Frame&& frame) {
+    session->OnFrame(std::move(frame));
+  };
+  handler.on_close = [session = session_](Connection&, wire::WireError) {
+    session->OnDisconnected();
+  };
+  session_->connection = transport_->Dial(address_, std::move(handler));
+  if (session_->connection == nullptr) {
+    return fail();
+  }
+  wire::HelloMsg hello;
+  if (!session_->connection->SendFrame(wire::MsgType::kHello,
+                                       wire::EncodeHello(hello))) {
+    return fail();
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(session_->options.timeout_ms);
+  {
+    std::unique_lock<std::mutex> lock(session_->mu);
+    if (!session_->cv.wait_until(lock, deadline, [this] {
+          return session_->hello_acked ||
+                 session_->disconnected.load(std::memory_order_acquire);
+        }) ||
+        !session_->hello_acked) {
+      lock.unlock();
+      return fail();
+    }
+  }
+  if (session_->options.subscribe) {
+    if (!session_->connection->SendFrame(wire::MsgType::kSubscribe, {})) {
+      return fail();
+    }
+    std::unique_lock<std::mutex> lock(session_->mu);
+    if (!session_->cv.wait_until(lock, deadline, [this] {
+          return session_->subscribe_acked ||
+                 session_->disconnected.load(std::memory_order_acquire);
+        }) ||
+        !session_->subscribe_acked) {
+      lock.unlock();
+      return fail();
+    }
+  }
+  session_->connected.store(true, std::memory_order_release);
+  return true;
+}
+
+void EunomiaClient::Close() {
+  session_->connected.store(false, std::memory_order_release);
+  if (session_->connection != nullptr) {
+    session_->connection->Close();
+  }
+}
+
+bool EunomiaClient::connected() const {
+  return session_->connected.load(std::memory_order_acquire);
+}
+
+bool EunomiaClient::disconnected() const {
+  return session_->disconnected.load(std::memory_order_acquire);
+}
+
+bool EunomiaClient::stream_broken() const {
+  return session_->stream_broken.load(std::memory_order_acquire);
+}
+
+bool EunomiaClient::SubmitBatch(PartitionId partition,
+                                std::vector<OpRecord> batch) {
+  if (!connected() || batch.empty()) {
+    return connected();
+  }
+  Session& s = *session_;
+  // A batch larger than one frame admits is split into several frames
+  // (FIFO on one connection, so the server still ingests it in order).
+  const std::size_t frame_cap = std::min<std::size_t>(
+      std::max<std::uint32_t>(1, s.options.max_ops_per_frame),
+      wire::kMaxOpsPerFrame);
+  std::size_t offset = 0;
+  while (offset < batch.size()) {
+    const std::uint64_t n =
+        std::min<std::size_t>(batch.size() - offset, frame_cap);
+    {
+      // Backpressure: block while the unacked window is full. The server
+      // acks each frame after handing it to the service, so the window
+      // bounds both transport queues and server-side inbox growth from
+      // this producer.
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.cv.wait(lock, [&s, n] {
+        // An idle window always admits one frame, even one larger than the
+        // window — otherwise a single oversized frame would wait forever.
+        return s.ops_acked >= s.ops_submitted ||
+               s.ops_submitted + n - s.ops_acked <=
+                   s.options.max_inflight_ops ||
+               s.disconnected.load(std::memory_order_acquire);
+      });
+      if (s.disconnected.load(std::memory_order_acquire)) {
+        return false;
+      }
+      s.inflight_batches.emplace_back(s.ops_submitted + n, NowMicros());
+      s.ops_submitted += n;
+    }
+    const std::string payload = wire::EncodeSubmitBatch(
+        partition, batch.data() + offset, static_cast<std::size_t>(n));
+    if (!s.connection->SendFrame(wire::MsgType::kSubmitBatch, payload)) {
+      return false;
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool EunomiaClient::Heartbeat(PartitionId partition, Timestamp ts) {
+  if (!connected()) {
+    return false;
+  }
+  wire::HeartbeatMsg msg;
+  msg.partition = partition;
+  msg.ts = ts;
+  return session_->connection->SendFrame(wire::MsgType::kHeartbeat,
+                                         wire::EncodeHeartbeat(msg));
+}
+
+bool EunomiaClient::WaitForAcks() {
+  Session& s = *session_;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(s.options.timeout_ms);
+  std::unique_lock<std::mutex> lock(s.mu);
+  return s.cv.wait_until(lock, deadline, [&s] {
+    return s.ops_acked >= s.ops_submitted ||
+           s.disconnected.load(std::memory_order_acquire);
+  }) && s.ops_acked >= s.ops_submitted;
+}
+
+std::uint64_t EunomiaClient::ops_submitted() const {
+  std::lock_guard<std::mutex> lock(session_->mu);
+  return session_->ops_submitted;
+}
+
+std::uint64_t EunomiaClient::ops_acked() const {
+  std::lock_guard<std::mutex> lock(session_->mu);
+  return session_->ops_acked;
+}
+
+std::uint64_t EunomiaClient::stable_ops_received() const {
+  return session_->stable_ops_received.load(std::memory_order_relaxed);
+}
+
+std::uint32_t EunomiaClient::server_partitions() const {
+  std::lock_guard<std::mutex> lock(session_->mu);
+  return session_->server_partitions;
+}
+
+OnlineStats EunomiaClient::ack_latency_us() const {
+  std::lock_guard<std::mutex> lock(session_->mu);
+  return session_->ack_latency_us;
+}
+
+}  // namespace eunomia::net

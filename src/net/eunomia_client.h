@@ -1,0 +1,105 @@
+// net::EunomiaClient — the client-side library for talking to a remote
+// Eunomia service (an EunomiaServer behind any Transport backend).
+//
+// One client owns one connection and plays one-or-more partitions over it
+// (the per-channel FIFO contract means a partition must never be split
+// across connections). It provides:
+//
+//   - connection management: Dial + Hello/HelloAck version handshake,
+//     Close, connected()/disconnected() observation;
+//   - batch submission with backpressure: SubmitBatch blocks while more
+//     than Options::max_inflight_ops are unacknowledged, so a slow or
+//     remote-saturated server throttles producers instead of letting them
+//     queue unbounded frames (on top of the transport's own byte-bounded
+//     outbox);
+//   - subscription to the stable stream: Options::subscribe + on_stable;
+//     the client verifies the stream sequence is dense, so any dropped or
+//     reordered stable batch surfaces as stream_broken() instead of a
+//     silently wrong order;
+//   - per-connection statistics: an OnlineStats of batch acknowledgement
+//     round-trip latency, mergeable across connections (OnlineStats::Merge)
+//     by multi-connection drivers.
+//
+// Threading: SubmitBatch/Heartbeat must come from one producer thread at a
+// time (the partition contract already implies a single submitter);
+// on_stable runs on the transport's delivery thread. The transport invokes
+// the connection handlers asynchronously, so all state those handlers touch
+// lives in a shared session object owned jointly by this wrapper and the
+// handler closures — destroying the EunomiaClient (after Close) is safe
+// even while the transport is still delivering its final callbacks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/eunomia/service.h"
+#include "src/net/transport.h"
+
+namespace eunomia::net {
+
+class EunomiaClient {
+ public:
+  struct Options {
+    // Backpressure window: SubmitBatch blocks while ops submitted but not
+    // yet acknowledged exceed this.
+    std::uint64_t max_inflight_ops = 64 * 1024;
+    // Ops per SubmitBatch frame; larger batches are split into several
+    // frames (FIFO, so the server ingests them in order). Clamped to the
+    // wire-format cap; only tests normally lower it.
+    std::uint32_t max_ops_per_frame = wire::kMaxOpsPerFrame;
+    bool subscribe = false;
+    // Stable batches, in emission order, on the transport thread.
+    StableSink on_stable;
+    // Handshake / ack wait bound.
+    std::uint64_t timeout_ms = 10'000;
+  };
+
+  EunomiaClient(Transport* transport, std::string address, Options options);
+  ~EunomiaClient();
+
+  EunomiaClient(const EunomiaClient&) = delete;
+  EunomiaClient& operator=(const EunomiaClient&) = delete;
+
+  // Dials, completes the Hello handshake and (if configured) the stable
+  // subscription. Returns false on any failure or timeout; a failed
+  // Connect poisons the client (one connection per client) — create a new
+  // EunomiaClient to retry rather than calling Connect again.
+  bool Connect();
+  void Close();
+
+  bool connected() const;
+  // True once the server closed on us or a session error surfaced.
+  bool disconnected() const;
+  // True if the stable stream sequence ever broke (should never happen over
+  // a correct transport).
+  bool stream_broken() const;
+
+  // Blocks while the in-flight window is full; false once disconnected.
+  bool SubmitBatch(PartitionId partition, std::vector<OpRecord> batch);
+  bool Heartbeat(PartitionId partition, Timestamp ts);
+
+  // Waits until every submitted op is acknowledged (or timeout/disconnect).
+  bool WaitForAcks();
+
+  std::uint64_t ops_submitted() const;
+  std::uint64_t ops_acked() const;
+  std::uint64_t stable_ops_received() const;
+  std::uint32_t server_partitions() const;
+
+  // Snapshot of the per-batch ack round-trip latency (microseconds).
+  OnlineStats ack_latency_us() const;
+
+ private:
+  // All state the transport callbacks touch; kept alive by the handler
+  // closures past this wrapper's destruction.
+  struct Session;
+
+  Transport* const transport_;
+  const std::string address_;
+  const std::shared_ptr<Session> session_;
+};
+
+}  // namespace eunomia::net

@@ -1,0 +1,196 @@
+#include "src/net/loopback_transport.h"
+
+namespace eunomia::net {
+
+// One endpoint of an in-process connection pair. The peer's SendBytes lands
+// encoded frames in inbox_; DeliveryLoop drains them through the shared
+// session receiver. A close tears down both endpoints, like a socket.
+class LoopbackTransport::Conn : public Connection,
+                                public std::enable_shared_from_this<Conn> {
+ public:
+  void SetPeer(std::shared_ptr<Conn> peer) { peer_ = std::move(peer); }
+  void SetHandler(ConnectionHandler handler) { handler_ = std::move(handler); }
+
+  void StartDelivery() {
+    delivery_ = std::thread([this] { DeliveryLoop(); });
+  }
+
+  void Close() override { CloseInternal(wire::WireError::kNone); }
+
+  // Called by the transport only; a connection never joins itself.
+  void JoinDelivery() {
+    if (delivery_.joinable()) {
+      delivery_.join();
+    }
+  }
+
+ protected:
+  bool SendBytes(std::string bytes) override {
+    const std::shared_ptr<Conn> peer = peer_.lock();
+    return peer != nullptr && peer->Enqueue(std::move(bytes));
+  }
+
+ private:
+  bool Enqueue(std::string bytes) {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] {
+      return inbox_bytes_ < kInboxCapacityBytes || closing_;
+    });
+    if (closing_) {
+      return false;
+    }
+    inbox_bytes_ += bytes.size();
+    inbox_.push_back(std::move(bytes));
+    deliver_cv_.notify_one();
+    return true;
+  }
+
+  void DeliveryLoop() {
+    for (;;) {
+      std::string bytes;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        deliver_cv_.wait(
+            lock, [this] { return !inbox_.empty() || closing_ || eof_; });
+        if (closing_) {
+          break;  // local hard close: drop whatever was still queued
+        }
+        if (inbox_.empty()) {
+          break;  // eof_ and fully drained: the peer's FIN, after its data
+        }
+        // Peer-initiated close (eof_) still delivers what was already
+        // enqueued — the FIN-after-data behavior of a socket, which the
+        // clean "submit, heartbeat, close" client shutdown depends on.
+        bytes = std::move(inbox_.front());
+        inbox_.pop_front();
+        inbox_bytes_ -= bytes.size();
+        space_cv_.notify_one();
+      }
+      if (!receiver_.Deliver(*this, handler_, bytes.data(), bytes.size())) {
+        CloseInternal(receiver_.error());
+        break;
+      }
+    }
+    if (handler_.on_close) {
+      wire::WireError error;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        error = close_error_;
+      }
+      handler_.on_close(*this, error);
+    }
+  }
+
+  void CloseInternal(wire::WireError error) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!closing_) {
+        closing_ = true;
+        close_error_ = error;
+      }
+    }
+    closed_.store(true, std::memory_order_release);
+    deliver_cv_.notify_all();
+    space_cv_.notify_all();
+    if (const std::shared_ptr<Conn> peer = peer_.lock()) {
+      peer->OnPeerClosed();
+    }
+  }
+
+  // The peer closed: no more input will arrive, but everything it already
+  // sent stays deliverable. Sends from this side are pointless now.
+  void OnPeerClosed() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      eof_ = true;
+    }
+    closed_.store(true, std::memory_order_release);
+    deliver_cv_.notify_all();
+  }
+
+  std::mutex mu_;
+  std::condition_variable deliver_cv_;
+  std::condition_variable space_cv_;
+  std::deque<std::string> inbox_;
+  std::size_t inbox_bytes_ = 0;
+  bool closing_ = false;
+  bool eof_ = false;
+  wire::WireError close_error_ = wire::WireError::kNone;
+
+  std::weak_ptr<Conn> peer_;  // weak: the pair must not keep itself alive
+  ConnectionHandler handler_;
+  internal::FrameReceiver receiver_;
+  std::thread delivery_;
+};
+
+LoopbackTransport::~LoopbackTransport() { Shutdown(); }
+
+std::string LoopbackTransport::Listen(const std::string& address,
+                                      AcceptHandler handler) {
+  if (address.empty() || handler == nullptr) {
+    return "";
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_ || listeners_.count(address) != 0) {
+    return "";
+  }
+  listeners_[address] = std::move(handler);
+  return address;
+}
+
+std::shared_ptr<Connection> LoopbackTransport::Dial(const std::string& address,
+                                                    ConnectionHandler handler) {
+  AcceptHandler accept;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return nullptr;
+    }
+    const auto it = listeners_.find(address);
+    if (it == listeners_.end()) {
+      return nullptr;
+    }
+    accept = it->second;
+  }
+  auto client = std::make_shared<Conn>();
+  auto server = std::make_shared<Conn>();
+  client->SetPeer(server);
+  server->SetPeer(client);
+  client->SetHandler(std::move(handler));
+  // The accept callback runs outside mu_ — it may call back into the
+  // transport — and before delivery starts, so no frame races the setup.
+  server->SetHandler(accept(server));
+  client->StartDelivery();
+  server->StartDelivery();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      connections_.push_back(client);
+      connections_.push_back(server);
+      return client;
+    }
+  }
+  // Lost the race with Shutdown: tear the fresh pair down ourselves.
+  client->Close();
+  client->JoinDelivery();
+  server->JoinDelivery();
+  return nullptr;
+}
+
+void LoopbackTransport::Shutdown() {
+  std::vector<std::shared_ptr<Conn>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    listeners_.clear();
+    connections.swap(connections_);
+  }
+  for (const auto& connection : connections) {
+    connection->Close();
+  }
+  for (const auto& connection : connections) {
+    connection->JoinDelivery();
+  }
+}
+
+}  // namespace eunomia::net

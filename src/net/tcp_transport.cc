@@ -1,0 +1,398 @@
+#include "src/net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+namespace eunomia::net {
+
+namespace {
+
+constexpr std::size_t kReadChunkBytes = 256u << 10;
+
+// Parses "ipv4:port" into a sockaddr. Returns false on any malformed input.
+bool ParseAddress(const std::string& address, sockaddr_in* out,
+                  std::string* host) {
+  const std::size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    return false;
+  }
+  *host = address.substr(0, colon);
+  char* end = nullptr;
+  const unsigned long port = std::strtoul(address.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || port > 65535) {
+    return false;
+  }
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<std::uint16_t>(port));
+  return inet_pton(AF_INET, host->c_str(), &out->sin_addr) == 1;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+class TcpTransport::Conn : public Connection,
+                           public std::enable_shared_from_this<Conn> {
+ public:
+  explicit Conn(int fd) : fd_(fd) {}
+
+  void SetHandler(ConnectionHandler handler) { handler_ = std::move(handler); }
+
+  void Start() {
+    live_threads_.store(2, std::memory_order_release);
+    reader_ = std::thread([this] {
+      ReaderLoop();
+      live_threads_.fetch_sub(1, std::memory_order_release);
+    });
+    writer_ = std::thread([this] {
+      WriterLoop();
+      live_threads_.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // True once both threads have finished their loops (the counter starts
+  // at -1 so a never-started connection is not "finished"): JoinAndRelease
+  // will return immediately. Lets the transport reap dead connections
+  // without blocking on live ones.
+  bool finished() const {
+    return live_threads_.load(std::memory_order_acquire) == 0;
+  }
+
+  void Close() override { CloseInternal(wire::WireError::kNone, false); }
+
+  // Transport Shutdown uses this: a graceful close can block on a peer that
+  // stopped reading, a teardown must not.
+  void CloseHard() { CloseInternal(wire::WireError::kNone, true); }
+
+  // Called by the transport only; the reader/writer never join themselves.
+  void JoinAndRelease() {
+    if (reader_.joinable()) {
+      reader_.join();
+    }
+    if (writer_.joinable()) {
+      writer_.join();
+    }
+    ::close(fd_);
+  }
+
+ protected:
+  bool SendBytes(std::string bytes) override {
+    std::unique_lock<std::mutex> lock(out_mu_);
+    space_cv_.wait(lock, [this] {
+      return outbox_bytes_ < kOutboxCapacityBytes || closing_;
+    });
+    if (closing_) {
+      return false;
+    }
+    outbox_bytes_ += bytes.size();
+    outbox_.push_back(std::move(bytes));
+    out_cv_.notify_one();
+    return true;
+  }
+
+ private:
+  // hard = true tears the socket down immediately (protocol error, write
+  // failure, transport shutdown); hard = false is the graceful path: frames
+  // already accepted into the outbox are flushed and the writer sends the
+  // FIN (SHUT_WR) once drained, so "submit, heartbeat, Close" loses
+  // nothing. Reads stop immediately either way.
+  void CloseInternal(wire::WireError error, bool hard) {
+    {
+      std::lock_guard<std::mutex> lock(out_mu_);
+      if (!closing_) {
+        closing_ = true;
+        close_error_ = error;
+      }
+    }
+    closed_.store(true, std::memory_order_release);
+    // The fd itself stays open until JoinAndRelease so the threads race
+    // nothing; shutdown() just unblocks them.
+    ::shutdown(fd_, hard ? SHUT_RDWR : SHUT_RD);
+    out_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  void ReaderLoop() {
+    std::vector<char> buffer(kReadChunkBytes);
+    wire::WireError error = wire::WireError::kNone;
+    for (;;) {
+      const ssize_t n = ::read(fd_, buffer.data(), buffer.size());
+      if (n > 0) {
+        if (!receiver_.Deliver(*this, handler_, buffer.data(),
+                               static_cast<std::size_t>(n))) {
+          error = receiver_.error();
+          CloseInternal(error, true);  // framing violation: tear down now
+          break;
+        }
+        continue;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      // n == 0 with no partial frame is the peer's clean FIN. Everything
+      // else — EOF mid-frame, ECONNRESET, any hard read error — is a torn
+      // stream and must not masquerade as a graceful close (unless we
+      // initiated the teardown ourselves).
+      if (!closed() && (n < 0 || receiver_.mid_frame())) {
+        error = wire::WireError::kTruncated;
+      }
+      break;
+    }
+    CloseInternal(error, false);
+    if (handler_.on_close) {
+      wire::WireError reported;
+      {
+        std::lock_guard<std::mutex> lock(out_mu_);
+        reported = close_error_;
+      }
+      handler_.on_close(*this, reported);
+    }
+  }
+
+  void WriterLoop() {
+    std::deque<std::string> local;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(out_mu_);
+        out_cv_.wait(lock, [this] { return !outbox_.empty() || closing_; });
+        if (outbox_.empty()) {
+          break;  // closing and fully drained: time for the FIN
+        }
+        local.swap(outbox_);
+        outbox_bytes_ = 0;
+        space_cv_.notify_all();
+      }
+      for (const std::string& bytes : local) {
+        if (!WriteFully(bytes)) {
+          CloseInternal(wire::WireError::kNone, true);
+          return;
+        }
+      }
+      local.clear();
+    }
+    // Graceful drain complete (or hard close, where this is a no-op on an
+    // already-RDWR-shutdown socket): send the FIN.
+    ::shutdown(fd_, SHUT_WR);
+  }
+
+  bool WriteFully(const std::string& bytes) {
+    std::size_t written = 0;
+    while (written < bytes.size()) {
+      // MSG_NOSIGNAL: a peer reset must surface as EPIPE, not kill the
+      // process with SIGPIPE.
+      const ssize_t n = ::send(fd_, bytes.data() + written,
+                               bytes.size() - written, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return false;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  const int fd_;
+  ConnectionHandler handler_;
+  internal::FrameReceiver receiver_;
+  std::atomic<int> live_threads_{-1};
+
+  std::mutex out_mu_;
+  std::condition_variable out_cv_;
+  std::condition_variable space_cv_;
+  std::deque<std::string> outbox_;
+  std::size_t outbox_bytes_ = 0;
+  bool closing_ = false;
+  wire::WireError close_error_ = wire::WireError::kNone;
+
+  std::thread reader_;
+  std::thread writer_;
+};
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+std::string TcpTransport::Listen(const std::string& address,
+                                 AcceptHandler handler) {
+  sockaddr_in addr;
+  std::string host;
+  if (handler == nullptr || !ParseAddress(address, &addr, &host)) {
+    return "";
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    ::close(fd);
+    return "";
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return "";
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || listen_fd_ >= 0) {
+      ::close(fd);
+      return "";
+    }
+    listen_fd_ = fd;
+    listen_host_ = host;
+    accept_handler_ = std::move(handler);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return host + ":" + std::to_string(ntohs(bound.sin_port));
+}
+
+void TcpTransport::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      // A transient failure must not kill the listener: ECONNABORTED is a
+      // client aborting its handshake while queued, and fd/buffer
+      // exhaustion recovers once connections are reaped — back off briefly
+      // and keep accepting. Anything else (EBADF/EINVAL after Shutdown's
+      // ::shutdown of the listener) ends the loop.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (shutdown_) {
+            return;
+          }
+        }
+        ReapFinishedConnections();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      return;  // listener shut down (or unrecoverable error): stop accepting
+    }
+    ReapFinishedConnections();
+    SetNoDelay(fd);
+    auto connection = std::make_shared<Conn>(fd);
+    connection->SetHandler(accept_handler_(connection));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        ::close(fd);
+        return;
+      }
+      connections_.push_back(connection);
+    }
+    connection->Start();
+  }
+}
+
+// Joins and releases connections whose reader and writer have both already
+// exited (closed peers). Called opportunistically from AcceptLoop and Dial,
+// so on a churny workload dead connections do not accumulate fds/threads
+// until Shutdown; the joins are instant because the threads are done.
+void TcpTransport::ReapFinishedConnections() {
+  std::vector<std::shared_ptr<Conn>> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if ((*it)->finished()) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& connection : finished) {
+    connection->JoinAndRelease();
+  }
+}
+
+std::shared_ptr<Connection> TcpTransport::Dial(const std::string& address,
+                                               ConnectionHandler handler) {
+  ReapFinishedConnections();
+  sockaddr_in addr;
+  std::string host;
+  if (!ParseAddress(address, &addr, &host)) {
+    return nullptr;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return nullptr;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  SetNoDelay(fd);
+  auto connection = std::make_shared<Conn>(fd);
+  connection->SetHandler(std::move(handler));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ::close(fd);
+      return nullptr;
+    }
+    connections_.push_back(connection);
+  }
+  connection->Start();
+  return connection;
+}
+
+void TcpTransport::Shutdown() {
+  int listen_fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+    listen_fd = listen_fd_;
+  }
+  if (listen_fd >= 0) {
+    // shutdown() (not close()) unblocks the accept thread without freeing
+    // the descriptor under it.
+    ::shutdown(listen_fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  if (listen_fd >= 0) {
+    ::close(listen_fd);
+  }
+  std::vector<std::shared_ptr<Conn>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (const auto& connection : connections) {
+    connection->CloseHard();
+  }
+  for (const auto& connection : connections) {
+    connection->JoinAndRelease();
+  }
+}
+
+}  // namespace eunomia::net

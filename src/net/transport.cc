@@ -1,0 +1,54 @@
+#include "src/net/transport.h"
+
+namespace eunomia::net {
+
+namespace {
+
+std::uint64_t NextConnectionId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Connection::Connection() : id_(NextConnectionId()) {}
+
+bool Connection::SendFrame(wire::MsgType type, std::string_view payload) {
+  if (closed_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  // Sequence assignment and transmission happen under one lock so the wire
+  // order always matches the stamped order — two racing senders can never
+  // interleave seq n after n+1 on the byte stream.
+  std::lock_guard<std::mutex> lock(send_mu_);
+  std::string bytes;
+  wire::EncodeFrame(type, send_seq_, payload, &bytes);
+  if (!SendBytes(std::move(bytes))) {
+    return false;
+  }
+  ++send_seq_;
+  return true;
+}
+
+namespace internal {
+
+bool FrameReceiver::Deliver(Connection& connection,
+                            const ConnectionHandler& handler, const char* data,
+                            std::size_t size) {
+  scratch_.clear();
+  const bool ok = decoder_.Feed(data, size, &scratch_);
+  // Frames decoded before a mid-buffer error are still valid and FIFO;
+  // deliver them, then report the failure. Frames already received may be
+  // delivered even after a local Close — like bytes already in a socket
+  // buffer, teardown is asynchronous and handlers must tolerate it.
+  for (wire::Frame& frame : scratch_) {
+    if (handler.on_frame) {
+      handler.on_frame(connection, std::move(frame));
+    }
+  }
+  scratch_.clear();
+  return ok;
+}
+
+}  // namespace internal
+}  // namespace eunomia::net

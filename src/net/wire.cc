@@ -1,0 +1,329 @@
+#include "src/net/wire.h"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+
+namespace eunomia::net::wire {
+
+namespace {
+
+// Little-endian scalar append/read. memcpy-based reads keep this free of
+// alignment traps; the explicit byte shifts keep it host-order independent.
+void PutU16(std::string* out, std::uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint16_t GetU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t GetU64(const char* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         (static_cast<std::uint64_t>(GetU32(p + 4)) << 32);
+}
+
+// Bounds-checked sequential payload reader.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : payload_(payload) {}
+
+  bool U32(std::uint32_t* v) {
+    if (payload_.size() - pos_ < 4) return false;
+    *v = GetU32(payload_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool U64(std::uint64_t* v) {
+    if (payload_.size() - pos_ < 8) return false;
+    *v = GetU64(payload_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+
+  std::size_t remaining() const { return payload_.size() - pos_; }
+  bool done() const { return pos_ == payload_.size(); }
+
+ private:
+  std::string_view payload_;
+  std::size_t pos_ = 0;
+};
+
+// One serialized OpRecord: ts u64 | partition u32 | key u64 | tag u64
+// (kOpRecordWireBytes).
+
+void PutOpRecord(std::string* out, const OpRecord& op) {
+  PutU64(out, op.ts);
+  PutU32(out, op.partition);
+  PutU64(out, op.key);
+  PutU64(out, op.tag);
+}
+
+bool ReadOps(PayloadReader* reader, std::uint32_t count,
+             std::vector<OpRecord>* ops) {
+  if (reader->remaining() != static_cast<std::size_t>(count) * kOpRecordWireBytes) {
+    return false;  // count must match the payload exactly — no trailing bytes
+  }
+  ops->clear();
+  ops->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    OpRecord op;
+    std::uint64_t ts = 0, key = 0, tag = 0;
+    std::uint32_t partition = 0;
+    if (!reader->U64(&ts) || !reader->U32(&partition) || !reader->U64(&key) ||
+        !reader->U64(&tag)) {
+      return false;
+    }
+    op.ts = ts;
+    op.partition = partition;
+    op.key = key;
+    op.tag = tag;
+    ops->push_back(op);
+  }
+  return true;
+}
+
+std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+const char* WireErrorName(WireError error) {
+  switch (error) {
+    case WireError::kNone: return "none";
+    case WireError::kBadMagic: return "bad_magic";
+    case WireError::kBadVersion: return "bad_version";
+    case WireError::kBadType: return "bad_type";
+    case WireError::kBadReserved: return "bad_reserved";
+    case WireError::kOversizedPayload: return "oversized_payload";
+    case WireError::kBadChecksum: return "bad_checksum";
+    case WireError::kBadSequence: return "bad_sequence";
+    case WireError::kTruncated: return "truncated";
+    case WireError::kMalformedPayload: return "malformed_payload";
+  }
+  return "unknown";
+}
+
+std::uint32_t Crc32(const void* data, std::size_t size) {
+  static const std::array<std::uint32_t, 256> table = MakeCrcTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void EncodeFrame(MsgType type, std::uint64_t seq, std::string_view payload,
+                 std::string* out) {
+  // A frame the receiver is required to reject must never be produced;
+  // batch senders chunk at kMaxOpsPerFrame, so hitting this is a bug.
+  assert(payload.size() <= kMaxPayloadBytes);
+  out->reserve(out->size() + kHeaderBytes + payload.size());
+  PutU32(out, kMagic);
+  out->push_back(static_cast<char>(kProtocolVersion));
+  out->push_back(static_cast<char>(type));
+  PutU16(out, 0);  // reserved
+  PutU32(out, static_cast<std::uint32_t>(payload.size()));
+  PutU32(out, Crc32(payload.data(), payload.size()));
+  PutU64(out, seq);
+  out->append(payload);
+}
+
+bool FrameDecoder::Feed(const char* data, std::size_t size,
+                        std::vector<Frame>* frames) {
+  if (error_ != WireError::kNone) {
+    return false;
+  }
+  buffer_.append(data, size);
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= kHeaderBytes) {
+    const char* h = buffer_.data() + pos;
+    if (GetU32(h) != kMagic) {
+      error_ = WireError::kBadMagic;
+      break;
+    }
+    if (static_cast<std::uint8_t>(h[4]) != kProtocolVersion) {
+      error_ = WireError::kBadVersion;
+      break;
+    }
+    const auto raw_type = static_cast<std::uint8_t>(h[5]);
+    if (raw_type < kMinMsgType || raw_type > kMaxMsgType) {
+      error_ = WireError::kBadType;
+      break;
+    }
+    if (GetU16(h + 6) != 0) {
+      error_ = WireError::kBadReserved;
+      break;
+    }
+    const std::uint32_t payload_len = GetU32(h + 8);
+    if (payload_len > kMaxPayloadBytes) {
+      // Reject before buffering toward the bogus length: a corrupt prefix
+      // must not commit us to a multi-gigabyte read.
+      error_ = WireError::kOversizedPayload;
+      break;
+    }
+    if (buffer_.size() - pos < kHeaderBytes + payload_len) {
+      break;  // partial frame; wait for more bytes
+    }
+    const char* payload = h + kHeaderBytes;
+    if (Crc32(payload, payload_len) != GetU32(h + 12)) {
+      error_ = WireError::kBadChecksum;
+      break;
+    }
+    const std::uint64_t seq = GetU64(h + 16);
+    if (seq != next_seq_) {
+      error_ = WireError::kBadSequence;
+      break;
+    }
+    ++next_seq_;
+    Frame frame;
+    frame.type = static_cast<MsgType>(raw_type);
+    frame.seq = seq;
+    frame.payload.assign(payload, payload_len);
+    frames->push_back(std::move(frame));
+    pos += kHeaderBytes + payload_len;
+  }
+  buffer_.erase(0, pos);
+  if (error_ != WireError::kNone) {
+    buffer_.clear();
+    return false;
+  }
+  return true;
+}
+
+// --- typed messages ----------------------------------------------------------
+
+std::string EncodeHello(const HelloMsg& msg) {
+  std::string payload;
+  PutU32(&payload, msg.protocol_version);
+  PutU32(&payload, msg.num_partitions);
+  return payload;
+}
+
+bool DecodeHello(std::string_view payload, HelloMsg* msg) {
+  PayloadReader reader(payload);
+  return reader.U32(&msg->protocol_version) &&
+         reader.U32(&msg->num_partitions) && reader.done();
+}
+
+std::string EncodeHelloAck(const HelloAckMsg& msg) {
+  std::string payload;
+  PutU32(&payload, msg.protocol_version);
+  PutU32(&payload, msg.num_partitions);
+  return payload;
+}
+
+bool DecodeHelloAck(std::string_view payload, HelloAckMsg* msg) {
+  PayloadReader reader(payload);
+  return reader.U32(&msg->protocol_version) &&
+         reader.U32(&msg->num_partitions) && reader.done();
+}
+
+std::string EncodeSubmitBatch(PartitionId partition, const OpRecord* ops,
+                              std::size_t count) {
+  assert(count <= kMaxOpsPerFrame);
+  std::string payload;
+  payload.reserve(8 + count * kOpRecordWireBytes);
+  PutU32(&payload, partition);
+  PutU32(&payload, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    PutOpRecord(&payload, ops[i]);
+  }
+  return payload;
+}
+
+bool DecodeSubmitBatch(std::string_view payload, SubmitBatchMsg* msg) {
+  PayloadReader reader(payload);
+  std::uint32_t count = 0;
+  return reader.U32(&msg->partition) && reader.U32(&count) &&
+         ReadOps(&reader, count, &msg->ops);
+}
+
+std::string EncodeHeartbeat(const HeartbeatMsg& msg) {
+  std::string payload;
+  PutU32(&payload, msg.partition);
+  PutU64(&payload, msg.ts);
+  return payload;
+}
+
+bool DecodeHeartbeat(std::string_view payload, HeartbeatMsg* msg) {
+  PayloadReader reader(payload);
+  return reader.U32(&msg->partition) && reader.U64(&msg->ts) && reader.done();
+}
+
+std::string EncodeSubmitAck(const SubmitAckMsg& msg) {
+  std::string payload;
+  PutU64(&payload, msg.ops_received);
+  return payload;
+}
+
+bool DecodeSubmitAck(std::string_view payload, SubmitAckMsg* msg) {
+  PayloadReader reader(payload);
+  return reader.U64(&msg->ops_received) && reader.done();
+}
+
+std::string EncodeSubscribeAck(const SubscribeAckMsg& msg) {
+  std::string payload;
+  PutU64(&payload, msg.next_stream_seq);
+  return payload;
+}
+
+bool DecodeSubscribeAck(std::string_view payload, SubscribeAckMsg* msg) {
+  PayloadReader reader(payload);
+  return reader.U64(&msg->next_stream_seq) && reader.done();
+}
+
+std::string EncodeStableBatch(std::uint64_t stream_seq, const OpRecord* ops,
+                              std::size_t count) {
+  assert(count <= kMaxOpsPerFrame);
+  std::string payload;
+  payload.reserve(12 + count * kOpRecordWireBytes);
+  PutU64(&payload, stream_seq);
+  PutU32(&payload, static_cast<std::uint32_t>(count));
+  for (std::size_t i = 0; i < count; ++i) {
+    PutOpRecord(&payload, ops[i]);
+  }
+  return payload;
+}
+
+bool DecodeStableBatch(std::string_view payload, StableBatchMsg* msg) {
+  PayloadReader reader(payload);
+  std::uint32_t count = 0;
+  return reader.U64(&msg->stream_seq) && reader.U32(&count) &&
+         ReadOps(&reader, count, &msg->ops);
+}
+
+}  // namespace eunomia::net::wire

@@ -174,6 +174,34 @@ TEST(OnlineStatsTest, EmptyIsZero) {
   EXPECT_EQ(stats.variance(), 0.0);
 }
 
+TEST(OnlineStatsTest, MergeWithEmptyPreservesMinMax) {
+  // The multi-connection TCP driver merges per-connection stats; an idle
+  // connection contributes an empty instance, which must not drag min to 0
+  // or otherwise perturb the aggregate — in either merge direction.
+  OnlineStats populated;
+  populated.Add(5.0);
+  populated.Add(11.0);
+  OnlineStats empty;
+  populated.Merge(empty);
+  EXPECT_EQ(populated.count(), 2u);
+  EXPECT_DOUBLE_EQ(populated.min(), 5.0);
+  EXPECT_DOUBLE_EQ(populated.max(), 11.0);
+  EXPECT_DOUBLE_EQ(populated.mean(), 8.0);
+
+  OnlineStats target;
+  target.Merge(populated);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.min(), 5.0);
+  EXPECT_DOUBLE_EQ(target.max(), 11.0);
+  EXPECT_DOUBLE_EQ(target.mean(), 8.0);
+
+  OnlineStats both_empty;
+  both_empty.Merge(empty);
+  EXPECT_EQ(both_empty.count(), 0u);
+  EXPECT_EQ(both_empty.min(), 0.0);
+  EXPECT_EQ(both_empty.max(), 0.0);
+}
+
 TEST(LatencyHistogramTest, ExactForSmallValues) {
   LatencyHistogram h;
   for (std::uint64_t v = 0; v < 16; ++v) {
@@ -212,6 +240,23 @@ TEST(LatencyHistogramTest, MergeAddsCounts) {
   a.Merge(b);
   EXPECT_EQ(a.count(), 3u);
   EXPECT_EQ(a.Max(), 300u);
+}
+
+TEST(LatencyHistogramTest, MergeWithEmptyIsIdentity) {
+  LatencyHistogram populated;
+  populated.Record(100);
+  populated.Record(900);
+  LatencyHistogram empty;
+  populated.Merge(empty);
+  EXPECT_EQ(populated.count(), 2u);
+  EXPECT_EQ(populated.Max(), 900u);
+  EXPECT_DOUBLE_EQ(populated.mean(), 500.0);
+
+  LatencyHistogram target;
+  target.Merge(populated);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_EQ(target.Max(), 900u);
+  EXPECT_DOUBLE_EQ(target.mean(), 500.0);
 }
 
 TEST(CdfTest, QuantilesOfKnownDistribution) {

@@ -444,5 +444,172 @@ TEST(OmegaDetectorTest, AllSuspectedMeansNoLeader) {
   EXPECT_EQ(omega.Leader(1000), std::nullopt);
 }
 
+// --- lifecycle hardening (the transport layer races these paths) -------------
+
+TEST(EunomiaServiceTest, DoubleStopIsIdempotent) {
+  EunomiaService::Options options;
+  options.num_partitions = 2;
+  options.stable_period_us = 200;
+  EunomiaService service(options);
+  service.Start();
+  service.SubmitBatch(0, MakeBatch(0, 100, 10));
+  service.Stop();
+  service.Stop();  // second Stop: no-op, no crash, no double-join
+  EXPECT_FALSE(service.running());
+}
+
+TEST(EunomiaServiceTest, ConcurrentStopCallersBothReturnStopped) {
+  EunomiaService::Options options;
+  options.num_partitions = 4;
+  options.num_shards = 2;
+  options.stable_period_us = 200;
+  EunomiaService service(options);
+  service.Start();
+  service.SubmitBatch(0, MakeBatch(0, 100, 50));
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 4; ++i) {
+    stoppers.emplace_back([&service] { service.Stop(); });
+  }
+  for (auto& stopper : stoppers) {
+    stopper.join();
+  }
+  // Every caller returned only after the pipeline was fully down.
+  EXPECT_FALSE(service.running());
+}
+
+TEST(EunomiaServiceTest, SubmitAndHeartbeatAfterStopAreDropped) {
+  EunomiaService::Options options;
+  options.num_partitions = 1;
+  options.stable_period_us = 200;
+  EunomiaService service(options);
+  service.Start();
+  service.SubmitBatch(0, MakeBatch(0, 100, 10));
+  service.Heartbeat(0, 5000);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.ops_stabilized() < 10 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.Stop();
+  const std::uint64_t submitted = service.ops_submitted();
+  const std::uint64_t stabilized = service.ops_stabilized();
+  service.SubmitBatch(0, MakeBatch(0, 10000, 10));
+  service.Heartbeat(0, 20000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(service.ops_submitted(), submitted);
+  EXPECT_EQ(service.ops_stabilized(), stabilized);
+}
+
+TEST(EunomiaServiceTest, SubmittersRacingStopNeverCrash) {
+  // The regression the transport layer motivates: a disconnecting TCP
+  // client's last SubmitBatch can race service shutdown.
+  for (int round = 0; round < 5; ++round) {
+    EunomiaService::Options options;
+    options.num_partitions = 4;
+    options.num_shards = 2;
+    options.stable_period_us = 100;
+    EunomiaService service(options);
+    service.Start();
+    std::atomic<bool> go{true};
+    std::vector<std::thread> submitters;
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      submitters.emplace_back([&service, &go, p] {
+        Timestamp ts = 0;
+        while (go.load(std::memory_order_relaxed)) {
+          service.SubmitBatch(p, MakeBatch(p, ts += 100, 16));
+          service.Heartbeat(p, ts + 50);
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    service.Stop();
+    go.store(false);
+    for (auto& submitter : submitters) {
+      submitter.join();
+    }
+  }
+  SUCCEED();
+}
+
+TEST(EunomiaServiceTest, StableListenersSeeTheSameStreamAsTheSink) {
+  std::vector<OpRecord> sink_ops;
+  std::vector<OpRecord> listener_ops;
+  EunomiaService::Options options;
+  options.num_partitions = 2;
+  options.stable_period_us = 200;
+  options.sink = [&](const std::vector<OpRecord>& ops) {
+    sink_ops.insert(sink_ops.end(), ops.begin(), ops.end());
+  };
+  EunomiaService service(options);
+  // Registered before Start: the listener observes every emission the sink
+  // does, in the same order (both run on the merge thread).
+  service.AddStableListener([&](const std::vector<OpRecord>& ops) {
+    listener_ops.insert(listener_ops.end(), ops.begin(), ops.end());
+  });
+  service.Start();
+  service.SubmitBatch(0, MakeBatch(0, 100, 50));
+  service.SubmitBatch(1, MakeBatch(1, 1000, 50));
+  service.Heartbeat(0, 5000);
+  service.Heartbeat(1, 5000);
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (service.ops_stabilized() < 100 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  service.Stop();
+  ASSERT_EQ(sink_ops.size(), 100u);
+  EXPECT_EQ(listener_ops, sink_ops);
+}
+
+TEST(FtEunomiaServiceTest, DoubleStopAndSubmitAfterStopAreSafe) {
+  FtEunomiaService::Options options;
+  options.num_partitions = 2;
+  options.num_replicas = 3;
+  options.stable_period_us = 200;
+  FtEunomiaService service(options);
+  service.Start();
+  service.SubmitBatch(0, MakeBatch(0, 100, 10));
+  service.Heartbeat(0, 500);
+  service.Heartbeat(1, 500);
+  service.Stop();
+  service.Stop();
+  const std::uint64_t stabilized = service.ops_stabilized();
+  service.SubmitBatch(0, MakeBatch(0, 10000, 10));  // dropped, not buffered
+  service.Heartbeat(0, 20000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(service.ops_stabilized(), stabilized);
+}
+
+TEST(FtEunomiaServiceTest, ConcurrentStopAndSubmittersNeverCrash) {
+  FtEunomiaService::Options options;
+  options.num_partitions = 2;
+  options.num_replicas = 3;
+  options.stable_period_us = 100;
+  FtEunomiaService service(options);
+  service.Start();
+  std::atomic<bool> go{true};
+  std::vector<std::thread> submitters;
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    submitters.emplace_back([&service, &go, p] {
+      Timestamp ts = 0;
+      while (go.load(std::memory_order_relaxed)) {
+        service.SubmitBatch(p, MakeBatch(p, ts += 100, 8));
+      }
+    });
+  }
+  std::vector<std::thread> stoppers;
+  for (int i = 0; i < 2; ++i) {
+    stoppers.emplace_back([&service] { service.Stop(); });
+  }
+  for (auto& stopper : stoppers) {
+    stopper.join();
+  }
+  go.store(false);
+  for (auto& submitter : submitters) {
+    submitter.join();
+  }
+  SUCCEED();
+}
+
 }  // namespace
 }  // namespace eunomia
