@@ -36,19 +36,56 @@ struct SystemCdfs {
   const Cdf* right = nullptr;  // dc1 -> dc2
 };
 
-void Run() {
+// Machine-readable companion of the printed tables (same JSON shape as
+// BENCH_fig2.json / BENCH_fig5.json): per system x WAN leg, the visibility
+// percentiles CI archives to track the trajectory.
+void WriteBenchJson(bool smoke, const std::vector<SystemCdfs>& cdfs) {
+  std::FILE* f = std::fopen("BENCH_fig6.json", "w");
+  if (f == nullptr) {
+    std::printf("WARNING: could not write BENCH_fig6.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"figure\": \"fig6_visibility_cdf\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"series\": [\n");
+  bool first = true;
+  for (const auto& entry : cdfs) {
+    for (const bool right : {false, true}) {
+      const Cdf* cdf = right ? entry.right : entry.left;
+      if (cdf == nullptr || cdf->count() == 0) {
+        continue;
+      }
+      if (!first) {
+        std::fprintf(f, ",\n");
+      }
+      first = false;
+      std::fprintf(f,
+                   "    {\"system\": \"%s\", \"pair\": \"%s\", "
+                   "\"p50_ms\": %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f}",
+                   entry.name.c_str(), right ? "dc1->dc2" : "dc0->dc1",
+                   cdf->Quantile(0.50) / 1000.0, cdf->Quantile(0.95) / 1000.0,
+                   cdf->Quantile(0.99) / 1000.0);
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_fig6.json\n");
+}
+
+void Run(bool smoke) {
   harness::PrintBanner(
       "Figure 6: CDF of remote update visibility latency (added delay, ms)",
       "left: dc0->dc1 (40ms one-way) / right: dc1->dc2 (80ms one-way); "
       "network latency factored out");
 
   wl::WorkloadConfig workload;
-  workload.num_keys = 100'000;
+  workload.num_keys = smoke ? 5'000 : 100'000;
   workload.update_fraction = 0.10;  // 90:10, the paper's default mix
-  workload.clients_per_dc = 24;
-  workload.duration_us = 20 * sim::kSecond;
-  workload.warmup_us = 4 * sim::kSecond;
-  workload.cooldown_us = 2 * sim::kSecond;
+  workload.clients_per_dc = smoke ? 8 : 24;
+  workload.duration_us = (smoke ? 4 : 20) * sim::kSecond;
+  workload.warmup_us = (smoke ? 1 : 4) * sim::kSecond;
+  workload.cooldown_us = (smoke ? 1 : 2) * sim::kSecond;
 
   geo::GeoConfig config;
   const std::vector<SystemKind> systems = {
@@ -101,17 +138,17 @@ void Run() {
               at(cdfs[0].left, 0.95), at(cdfs[2].left, 0.95), at(cdfs[1].left, 0.95));
   std::printf("measured  @5%% (floor): EunomiaKV %.1f ms, Cure %.1f ms, GentleRain %.1f ms\n",
               at(cdfs[0].left, 0.05), at(cdfs[2].left, 0.05), at(cdfs[1].left, 0.05));
+  WriteBenchJson(smoke, cdfs);
 }
 
 }  // namespace
 }  // namespace eunomia
 
 int main(int argc, char** argv) {
-  // No flags yet; the shared parser still rejects typos loudly.
-  eunomia::bench::Flags flags(argc, argv, {});
+  eunomia::bench::Flags flags(argc, argv, {"smoke"});
   if (!flags.ok()) {
     return flags.FailUsage();
   }
-  eunomia::Run();
+  eunomia::Run(flags.smoke());
   return 0;
 }

@@ -55,6 +55,7 @@ class CureSystem final : public GeoSystem {
                     std::function<void()> done) override;
 
   VisibilityTracker& tracker() override { return tracker_; }
+  const VisibilityTracker& tracker() const override { return tracker_; }
 
   const VectorTimestamp& GssAt(DatacenterId dc, PartitionId partition) const {
     return dcs_[dc].partitions[partition].gss;

@@ -42,6 +42,7 @@ class EventualSystem final : public GeoSystem {
                     std::function<void()> done) override;
 
   VisibilityTracker& tracker() override { return tracker_; }
+  const VisibilityTracker& tracker() const override { return tracker_; }
 
   const GeoStore& StoreAt(DatacenterId dc, PartitionId partition) const {
     return dcs_[dc].partitions[partition].store;

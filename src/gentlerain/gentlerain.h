@@ -59,6 +59,7 @@ class GentleRainSystem final : public GeoSystem {
                     std::function<void()> done) override;
 
   VisibilityTracker& tracker() override { return tracker_; }
+  const VisibilityTracker& tracker() const override { return tracker_; }
 
   Timestamp GstAt(DatacenterId dc, PartitionId partition) const {
     return dcs_[dc].partitions[partition].gst;

@@ -1,370 +1,81 @@
 #include "src/georep/eunomiakv.h"
 
-#include <algorithm>
 #include <cassert>
 #include <utility>
+
+#include "src/clock/physical_clock.h"
+#include "src/common/random.h"
 
 namespace eunomia::geo {
 
 EunomiaKvSystem::EunomiaKvSystem(sim::Simulator* sim, GeoConfig config)
     : sim_(sim),
       config_(std::move(config)),
-      network_(sim, config_.network),
-      router_(config_.partitions_per_dc),
-      tracker_(config_.timeline_window_us, config_.num_dcs) {
-  dcs_.resize(config_.num_dcs);
+      tracker_(config_.timeline_window_us, config_.num_dcs),
+      uids_(/*first=*/0, /*stride=*/1),  // dense, in global install order
+      env_(sim, config_) {
+  // The clock RNG fork and the per-partition draw order (offset, then
+  // drift, datacenter-major) replicate the pre-runtime constructor so a
+  // fixed seed yields the same skew assignment.
   Rng clock_rng = sim_->rng().Fork(0xC10C);
   for (DatacenterId m = 0; m < config_.num_dcs; ++m) {
-    Datacenter& dc = dcs_[m];
-    dc.id = m;
-    for (std::uint32_t s = 0; s < config_.servers_per_dc; ++s) {
-      dc.servers.push_back(std::make_unique<sim::Server>(sim_));
-    }
-    dc.partitions.resize(config_.partitions_per_dc);
+    std::vector<PhysicalClock> clocks;
+    clocks.reserve(config_.partitions_per_dc);
     for (PartitionId p = 0; p < config_.partitions_per_dc; ++p) {
-      Partition& part = dc.partitions[p];
-      part.id = p;
-      part.dc = m;
-      part.server =
-          dc.servers[store::ServerOfPartition(p, config_.servers_per_dc)].get();
-      part.endpoint = network_.Register(m);
-      const std::int64_t off = clock_rng.NextInRange(-config_.clocks.max_offset_us,
-                                                     config_.clocks.max_offset_us);
-      const double drift = (2.0 * clock_rng.NextDouble() - 1.0) *
-                           config_.clocks.max_drift_ppm;
-      part.clock = PhysicalClock(off, drift);
-      part.hybrid = PartitionedHybridClock(p, config_.partitions_per_dc);
-      part.comm_interval_us = config_.batch_interval_us;
+      const std::int64_t off = clock_rng.NextInRange(
+          -config_.clocks.max_offset_us, config_.clocks.max_offset_us);
+      const double drift =
+          (2.0 * clock_rng.NextDouble() - 1.0) * config_.clocks.max_drift_ppm;
+      clocks.emplace_back(off, drift);
     }
-    dc.eunomia = std::make_unique<EunomiaCore>(config_.partitions_per_dc,
-                                               /*first_partition=*/0,
-                                               config_.eunomia_buffer);
-    dc.eunomia_server = std::make_unique<sim::Server>(sim_);
-    dc.eunomia_endpoint = network_.Register(m);
-    dc.receiver_server = std::make_unique<sim::Server>(sim_);
-    dc.receiver_endpoint = network_.Register(m);
-    dc.receiver = std::make_unique<Receiver>(
-        m, config_.num_dcs,
-        [this, m](const RemoteUpdate& update, std::function<void()> done) {
-          ApplyRemote(m, update.partition, update, std::move(done));
-        },
-        config_.scalar_metadata);
+    dcs_.push_back(std::make_unique<rt::DatacenterRuntime>(
+        m, config_, &env_, &tracker_, &uids_, &sessions_, std::move(clocks)));
+    env_.RegisterRuntime(m, dcs_.back().get());
   }
-  StartTimers();
-}
-
-void EunomiaKvSystem::StartTimers() {
   for (DatacenterId m = 0; m < config_.num_dcs; ++m) {
-    for (PartitionId p = 0; p < config_.partitions_per_dc; ++p) {
-      SchedulePartitionFlush(m, p);
-    }
-    ScheduleStabilizer(m);
-    ScheduleReceiverCheck(m);
+    dcs_[m]->StartTimers();
   }
-}
-
-void EunomiaKvSystem::SetPartitionCommInterval(DatacenterId dc, PartitionId partition,
-                                               std::uint64_t interval_us) {
-  assert(dc < dcs_.size() && partition < config_.partitions_per_dc);
-  dcs_[dc].partitions[partition].comm_interval_us =
-      interval_us == 0 ? 1 : interval_us;
-}
-
-void EunomiaKvSystem::SchedulePartitionFlush(DatacenterId dc, PartitionId p) {
-  const std::uint64_t interval = dcs_[dc].partitions[p].comm_interval_us;
-  sim_->ScheduleAfter(interval, [this, dc, p] {
-    FlushPartition(dc, p);
-    SchedulePartitionFlush(dc, p);
-  });
-}
-
-void EunomiaKvSystem::FlushPartition(DatacenterId dc, PartitionId p) {
-  Datacenter& d = dcs_[dc];
-  Partition& part = d.partitions[p];
-  if (!part.batcher.empty()) {
-    auto batch = part.batcher.TakeBatch();
-    // FIFO link partition -> Eunomia (§3.1 assumption).
-    network_.Send(part.endpoint, d.eunomia_endpoint,
-                  [this, dc, batch = std::move(batch)] {
-                    Datacenter& dd = dcs_[dc];
-                    const std::uint64_t cost =
-                        config_.costs.eunomia_op_us * batch.size() + 1;
-                    dd.eunomia_server->Submit(cost, [this, dc, batch] {
-                      // Per-partition batches are timestamp-ordered: bulk
-                      // insert through the hinted run path.
-                      dcs_[dc].eunomia->AddBatch(batch);
-                    });
-                  });
-    return;
-  }
-  // Idle partition: heartbeat if due (Alg. 2 lines 10-12). HeartbeatValue
-  // records the emitted timestamp so later updates strictly exceed it,
-  // preserving Property 2 even if an update lands in the same microsecond.
-  const Timestamp now_phys = part.clock.Read(sim_->now());
-  if (part.hybrid.HeartbeatDue(now_phys, config_.delta_us)) {
-    const Timestamp hb_ts = part.hybrid.HeartbeatValue(now_phys);
-    network_.Send(part.endpoint, d.eunomia_endpoint, [this, dc, p, hb_ts] {
-      Datacenter& dd = dcs_[dc];
-      dd.eunomia_server->Submit(1, [this, dc, p, hb_ts] {
-        dcs_[dc].eunomia->Heartbeat(p, hb_ts);
-      });
-    });
-  }
-}
-
-void EunomiaKvSystem::ScheduleStabilizer(DatacenterId dc) {
-  sim_->ScheduleAfter(config_.theta_us, [this, dc] {
-    RunStabilizer(dc);
-    ScheduleStabilizer(dc);
-  });
-}
-
-void EunomiaKvSystem::RunStabilizer(DatacenterId dc) {
-  Datacenter& d = dcs_[dc];
-  stable_scratch_.clear();
-  const std::size_t emitted = d.eunomia->ProcessStable(&stable_scratch_);
-  // Scalar variant: the receivers gate on each origin's stable frontier
-  // (GST-style), so the stabilizer broadcasts its StableTime as a beacon
-  // even when there is nothing to ship. The beacon goes out AFTER the
-  // batch below on the same FIFO link, so a receiver that sees frontier F
-  // is guaranteed to already hold every op with ts <= F in its queue.
-  auto send_frontier_beacons = [this, &d, dc] {
-    const Timestamp frontier = d.eunomia->StableTime();
-    if (frontier == 0) {
-      return;
-    }
-    for (DatacenterId k = 0; k < config_.num_dcs; ++k) {
-      if (k == dc) {
-        continue;
-      }
-      // Through the receiver node's FCFS queue, so the beacon takes effect
-      // only after the batch preceding it on the FIFO link is enqueued.
-      network_.Send(d.eunomia_endpoint, dcs_[k].receiver_endpoint,
-                    [this, k, dc, frontier] {
-                      dcs_[k].receiver_server->Submit(1, [this, k, dc, frontier] {
-                        dcs_[k].receiver->OnFrontier(dc, frontier);
-                      });
-                    });
-    }
-  };
-  if (emitted == 0) {
-    if (config_.scalar_metadata) {
-      send_frontier_beacons();
-    }
-    return;
-  }
-  // Charge the Eunomia node for the extraction work.
-  d.eunomia_server->Submit(config_.costs.eunomia_op_us * emitted + 1, [] {});
-  // Ship ordered metadata to every remote receiver; the FIFO WAN link
-  // preserves the stabilization order.
-  std::vector<RemoteUpdate> batch;
-  batch.reserve(emitted);
-  for (const OpRecord& op : stable_scratch_) {
-    const auto it = registry_.find(op.tag);
-    assert(it != registry_.end());
-    batch.push_back(it->second);
-    registry_.erase(it);
-  }
-  for (DatacenterId k = 0; k < config_.num_dcs; ++k) {
-    if (k == dc) {
-      continue;
-    }
-    network_.Send(d.eunomia_endpoint, dcs_[k].receiver_endpoint,
-                  [this, k, batch] {
-                    Datacenter& rd = dcs_[k];
-                    rd.receiver_server->Submit(
-                        config_.costs.receiver_op_us * batch.size() + 1,
-                        [this, k, batch] {
-                          for (const RemoteUpdate& u : batch) {
-                            dcs_[k].receiver->OnRemoteUpdate(u);
-                          }
-                        });
-                  });
-  }
-  if (config_.scalar_metadata) {
-    send_frontier_beacons();
-  }
-}
-
-void EunomiaKvSystem::ScheduleReceiverCheck(DatacenterId dc) {
-  sim_->ScheduleAfter(config_.rho_us, [this, dc] {
-    dcs_[dc].receiver->CheckPending();
-    ScheduleReceiverCheck(dc);
-  });
 }
 
 void EunomiaKvSystem::ClientRead(ClientId client, DatacenterId dc, Key key,
                                  std::function<void()> done) {
   assert(dc < dcs_.size());
-  const std::uint64_t issued_at = sim_->now();
-  const PartitionId p = router_.Responsible(key);
-  Partition& part = dcs_[dc].partitions[p];
-  const sim::SimTime hop = config_.network.intra_dc_one_way_us;
-  sim_->ScheduleAfter(hop, [this, &part, client, key, done = std::move(done),
-                            issued_at, dc, hop] {
-    const std::uint64_t cost =
-        config_.costs.read_us + config_.costs.eunomia_metadata_us;
-    part.server->Submit(cost, [this, &part, client, key, done, issued_at, dc,
-                               hop] {
-      const GeoVersion* version = part.store.Get(key);
-      VectorTimestamp vts = version != nullptr ? version->vts
-                                               : VectorTimestamp(config_.num_dcs);
-      sim_->ScheduleAfter(hop, [this, client, vts = std::move(vts), done,
-                                issued_at, dc] {
-        auto [it, inserted] =
-            sessions_.try_emplace(client, VectorTimestamp(config_.num_dcs));
-        it->second.MergeMax(vts);  // Alg. 1 line 4, vector form
-        tracker_.OnOpComplete(dc, /*is_update=*/false, sim_->now(),
-                              sim_->now() - issued_at);
-        done();
-      });
-    });
-  });
+  dcs_[dc]->ClientRead(client, key, std::move(done));
 }
 
 void EunomiaKvSystem::ClientUpdate(ClientId client, DatacenterId dc, Key key,
                                    Value value, std::function<void()> done) {
   assert(dc < dcs_.size());
-  const std::uint64_t issued_at = sim_->now();
-  const PartitionId p = router_.Responsible(key);
-  Partition& part = dcs_[dc].partitions[p];
-  const sim::SimTime hop = config_.network.intra_dc_one_way_us;
-  sim_->ScheduleAfter(hop, [this, &part, client, key, value = std::move(value),
-                            done = std::move(done), issued_at]() mutable {
-    ExecuteUpdate(part, client, key, std::move(value), std::move(done), issued_at);
-  });
+  dcs_[dc]->ClientUpdate(client, key, std::move(value), std::move(done));
 }
 
-void EunomiaKvSystem::ExecuteUpdate(Partition& part, ClientId client, Key key,
-                                    Value value, std::function<void()> done,
-                                    std::uint64_t issued_at) {
-  const std::uint64_t cost = config_.costs.update_us +
-                             config_.costs.eunomia_metadata_us +
-                             config_.costs.eunomia_update_metadata_us;
-  part.server->Submit(cost, [this, &part, client, key, value = std::move(value),
-                             done = std::move(done), issued_at]() mutable {
-    const DatacenterId m = part.dc;
-    auto [sit, inserted] =
-        sessions_.try_emplace(client, VectorTimestamp(config_.num_dcs));
-    VectorTimestamp& session = sit->second;
-
-    // u.vts: local entry from the hybrid clock (Alg. 2 line 5, vector form);
-    // remote entries copied from VClock_c (§4 "Update").
-    const Timestamp now_phys = part.clock.Read(sim_->now());
-    const Timestamp local_ts = part.hybrid.TimestampUpdate(now_phys, session[m]);
-    VectorTimestamp vts = session;
-    vts[m] = local_ts;
-    if (config_.scalar_metadata) {
-      // Scalar compression (§4, "we could easily adapt our protocols to use
-      // a single scalar, as in [GentleRain]"): the update carries one scalar
-      // — its own timestamp — as both its id and its dependency summary, so
-      // a remote datacenter may apply it only once it has applied *every*
-      // datacenter's updates up to that value (GentleRain's GST >= u.ts
-      // condition). This creates false dependencies on every datacenter:
-      // the visibility lower bound becomes the farthest inter-DC latency,
-      // and a quiescent datacenter stalls everyone (which is why GentleRain
-      // needs heartbeats).
-      for (DatacenterId d = 0; d < config_.num_dcs; ++d) {
-        vts[d] = local_ts;
-      }
-    }
-
-    part.store.Put(key, value, vts, m);
-    ++updates_installed_;
-    const std::uint64_t uid = tracker_.OnInstalled(m, sim_->now());
-
-    // Metadata to Eunomia (batched, §5): only (ts, partition, key, uid).
-    part.batcher.Add(OpRecord{local_ts, part.id, key, uid});
-    registry_[uid] = RemoteUpdate{uid, key, vts, m, part.id};
-
-    // Data/metadata separation (§5): ship the payload directly to the
-    // sibling partitions, no ordering constraints.
-    RemotePayload payload{uid, key, value, vts, m};
-    for (DatacenterId k = 0; k < config_.num_dcs; ++k) {
-      if (k == m) {
-        continue;
-      }
-      network_.Send(part.endpoint, dcs_[k].partitions[part.id].endpoint,
-                    [this, k, pid = part.id, payload] {
-                      DeliverPayload(k, pid, payload);
-                    });
-    }
-
-    // Reply to the client: VClock_c <- u.vts (strictly greater, §4).
-    const sim::SimTime hop = config_.network.intra_dc_one_way_us;
-    sim_->ScheduleAfter(hop, [this, client, vts = std::move(vts), done, issued_at,
-                              m] {
-      auto it = sessions_.find(client);
-      if (it != sessions_.end()) {
-        it->second = vts;
-      }
-      tracker_.OnOpComplete(m, /*is_update=*/true, sim_->now(),
-                            sim_->now() - issued_at);
-      done();
-    });
-  });
+void EunomiaKvSystem::SetPartitionCommInterval(DatacenterId dc,
+                                               PartitionId partition,
+                                               std::uint64_t interval_us) {
+  assert(dc < dcs_.size() && partition < config_.partitions_per_dc);
+  dcs_[dc]->SetPartitionCommInterval(partition, interval_us);
 }
 
-void EunomiaKvSystem::DeliverPayload(DatacenterId dc, PartitionId p,
-                                     RemotePayload payload) {
-  Partition& part = dcs_[dc].partitions[p];
-  tracker_.OnRemoteArrival(payload.uid, dc, sim_->now());
-  const std::uint64_t uid = payload.uid;
-  part.payloads.emplace(uid, std::move(payload));
-  // If the receiver's go-ahead beat the payload, finish the apply now.
-  const auto pending = part.pending_applies.find(uid);
-  if (pending != part.pending_applies.end()) {
-    auto done = std::move(pending->second);
-    part.pending_applies.erase(pending);
-    ExecuteRemote(part, uid, std::move(done));
-  }
-}
-
-void EunomiaKvSystem::ApplyRemote(DatacenterId dc, PartitionId p,
-                                  const RemoteUpdate& meta,
-                                  std::function<void()> done) {
-  // Receiver -> partition APPLY message (Alg. 5 line 14).
-  Datacenter& d = dcs_[dc];
-  Partition& part = d.partitions[p];
-  network_.Send(d.receiver_endpoint, part.endpoint,
-                [this, dc, p, uid = meta.uid, done = std::move(done)] {
-                  Partition& pp = dcs_[dc].partitions[p];
-                  if (pp.payloads.count(uid) > 0) {
-                    ExecuteRemote(pp, uid, done);
-                  } else {
-                    // Metadata arrived before the payload: park the go-ahead.
-                    pp.pending_applies.emplace(uid, done);
-                  }
-                });
-}
-
-void EunomiaKvSystem::ExecuteRemote(Partition& part, std::uint64_t uid,
-                                    std::function<void()> done) {
-  part.server->SubmitPriority(config_.costs.apply_remote_us, [this, &part, uid,
-                                                              done = std::move(done)] {
-    const auto it = part.payloads.find(uid);
-    assert(it != part.payloads.end());
-    RemotePayload payload = std::move(it->second);
-    part.payloads.erase(it);
-    part.store.Put(payload.key, std::move(payload.value), payload.vts,
-                   payload.origin);
-    tracker_.OnRemoteVisible(uid, part.dc, sim_->now());
-    done();  // receiver advances SiteTime and keeps flushing
-  });
-}
-
-const GeoStore& EunomiaKvSystem::StoreAt(DatacenterId dc, PartitionId partition) const {
-  return dcs_[dc].partitions[partition].store;
+const GeoStore& EunomiaKvSystem::StoreAt(DatacenterId dc,
+                                         PartitionId partition) const {
+  return dcs_[dc]->StoreAt(partition);
 }
 const Receiver& EunomiaKvSystem::ReceiverAt(DatacenterId dc) const {
-  return *dcs_[dc].receiver;
+  return dcs_[dc]->receiver();
 }
 const EunomiaCore& EunomiaKvSystem::EunomiaAt(DatacenterId dc) const {
-  return *dcs_[dc].eunomia;
+  return dcs_[dc]->eunomia();
 }
 const VectorTimestamp* EunomiaKvSystem::SessionOf(ClientId client) const {
   const auto it = sessions_.find(client);
   return it == sessions_.end() ? nullptr : &it->second;
+}
+std::uint64_t EunomiaKvSystem::updates_installed() const {
+  std::uint64_t total = 0;
+  for (const auto& dc : dcs_) {
+    total += dc->updates_installed();
+  }
+  return total;
 }
 
 }  // namespace eunomia::geo

@@ -1,17 +1,17 @@
 // EunomiaKV — the paper's causally consistent geo-replicated store (§4, §6),
 // assembled over the discrete-event simulator.
 //
-// Per datacenter m:
+// The protocol itself lives in src/georep/runtime/ (one DatacenterRuntime
+// per datacenter, written against the Environment seam); this class is the
+// simulator binding plus the GeoSystem facade the workload driver and the
+// figure benchmarks talk to. Per datacenter m it provides, through
+// rt::SimGeoEnvironment:
 //   - partitions_per_dc logical partitions spread round-robin over
-//     servers_per_dc FCFS servers (the Riak cluster substrate). Each
-//     partition owns a loosely synchronized physical clock, the hybrid
-//     MaxTs logic of Algorithm 2, a single-version store with vector-
-//     timestamp LWW, and a metadata batcher toward the local Eunomia
-//     service (§5);
-//   - one Eunomia service node (its own machine): EunomiaCore ordering +
-//     periodic PROCESS_STABLE, shipping ordered metadata to every remote
-//     receiver over FIFO WAN links;
-//   - one receiver implementing Algorithm 5.
+//     servers_per_dc FCFS servers (the Riak cluster substrate), each with a
+//     loosely synchronized physical clock drawn from the seeded RNG;
+//   - one Eunomia service node (its own machine) and one Algorithm 5
+//     receiver, all connected by FIFO (WAN) links with the paper topology's
+//     latencies.
 //
 // Data/metadata separation (§5): partitions ship payloads directly to their
 // sibling partitions as soon as an update commits; Eunomia ships only
@@ -26,25 +26,15 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
-#include "src/clock/hybrid_clock.h"
-#include "src/clock/physical_clock.h"
 #include "src/common/types.h"
-#include "src/eunomia/core.h"
-#include "src/eunomia/sender.h"
 #include "src/georep/config.h"
-#include "src/georep/geo_store.h"
 #include "src/georep/geo_system.h"
-#include "src/georep/receiver.h"
-#include "src/georep/remote_update.h"
+#include "src/georep/runtime/datacenter_runtime.h"
+#include "src/georep/runtime/sim_env.h"
 #include "src/georep/visibility.h"
-#include "src/sim/network.h"
-#include "src/sim/server.h"
 #include "src/sim/simulator.h"
-#include "src/store/hash_ring.h"
 
 namespace eunomia::geo {
 
@@ -60,6 +50,7 @@ class EunomiaKvSystem final : public GeoSystem {
                     std::function<void()> done) override;
 
   VisibilityTracker& tracker() override { return tracker_; }
+  const VisibilityTracker& tracker() const override { return tracker_; }
 
   // Straggler injection (§7.2.3): overrides the partition -> Eunomia
   // communication interval for one partition. Pass config.batch_interval_us
@@ -72,68 +63,17 @@ class EunomiaKvSystem final : public GeoSystem {
   const Receiver& ReceiverAt(DatacenterId dc) const;
   const EunomiaCore& EunomiaAt(DatacenterId dc) const;
   const VectorTimestamp* SessionOf(ClientId client) const;
-  std::uint64_t updates_installed() const { return updates_installed_; }
+  std::uint64_t updates_installed() const;
   const GeoConfig& config() const { return config_; }
 
  private:
-  struct Partition {
-    PartitionId id = 0;
-    DatacenterId dc = 0;
-    sim::Server* server = nullptr;
-    sim::EndpointId endpoint = 0;
-    PhysicalClock clock;
-    // Tie-free hybrid clock: timestamps are partition-tagged in their low
-    // bits so no two partitions of this DC ever issue equal values (see
-    // clock/hybrid_clock.h for why Algorithm 5 wants this).
-    PartitionedHybridClock hybrid;
-    GeoStore store;
-    PartitionBatcher batcher;
-    std::uint64_t comm_interval_us = 1000;
-    // Data/metadata separation state: payloads received ahead of metadata,
-    // and metadata go-aheads waiting for payloads.
-    std::unordered_map<std::uint64_t, RemotePayload> payloads;
-    std::unordered_map<std::uint64_t, std::function<void()>> pending_applies;
-  };
-
-  struct Datacenter {
-    DatacenterId id = 0;
-    std::vector<std::unique_ptr<sim::Server>> servers;
-    std::vector<Partition> partitions;
-    std::unique_ptr<EunomiaCore> eunomia;
-    std::unique_ptr<sim::Server> eunomia_server;
-    sim::EndpointId eunomia_endpoint = 0;
-    std::unique_ptr<Receiver> receiver;
-    std::unique_ptr<sim::Server> receiver_server;
-    sim::EndpointId receiver_endpoint = 0;
-  };
-
-  void StartTimers();
-  void SchedulePartitionFlush(DatacenterId dc, PartitionId p);
-  void FlushPartition(DatacenterId dc, PartitionId p);
-  void ScheduleStabilizer(DatacenterId dc);
-  void RunStabilizer(DatacenterId dc);
-  void ScheduleReceiverCheck(DatacenterId dc);
-
-  void ExecuteUpdate(Partition& part, ClientId client, Key key, Value value,
-                     std::function<void()> done, std::uint64_t issued_at);
-  void DeliverPayload(DatacenterId dc, PartitionId p, RemotePayload payload);
-  void ApplyRemote(DatacenterId dc, PartitionId p, const RemoteUpdate& meta,
-                   std::function<void()> done);
-  void ExecuteRemote(Partition& part, std::uint64_t uid,
-                     std::function<void()> done);
-
   sim::Simulator* sim_;
   GeoConfig config_;
-  sim::Network network_;
-  store::ConsistentHashRing router_;
-  std::vector<Datacenter> dcs_;
-  std::unordered_map<ClientId, VectorTimestamp> sessions_;
-  // Metadata registry: uid -> shipping metadata, kept at the origin until
-  // Eunomia stabilizes and ships it.
-  std::unordered_map<std::uint64_t, RemoteUpdate> registry_;
   VisibilityTracker tracker_;
-  std::uint64_t updates_installed_ = 0;
-  std::vector<OpRecord> stable_scratch_;
+  rt::UidAllocator uids_;
+  rt::SessionMap sessions_;
+  rt::SimGeoEnvironment env_;
+  std::vector<std::unique_ptr<rt::DatacenterRuntime>> dcs_;
 };
 
 }  // namespace eunomia::geo

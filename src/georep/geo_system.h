@@ -30,10 +30,11 @@ class GeoSystem {
   virtual void ClientUpdate(ClientId client, DatacenterId dc, Key key,
                             Value value, std::function<void()> done) = 0;
 
+  // Mutable access for the lifecycle hooks the systems drive; const access
+  // for read-only reporting (results extraction, benchmarks). Both are
+  // implemented by every system — no const_cast laundering.
   virtual VisibilityTracker& tracker() = 0;
-  const VisibilityTracker& tracker() const {
-    return const_cast<GeoSystem*>(this)->tracker();
-  }
+  virtual const VisibilityTracker& tracker() const = 0;
 };
 
 }  // namespace eunomia::geo

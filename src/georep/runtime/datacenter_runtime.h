@@ -1,0 +1,142 @@
+// One datacenter's EunomiaKV protocol runtime (§4–§5, Algorithm 5),
+// transport-agnostic.
+//
+// This is the protocol extracted from the original simulator-welded
+// EunomiaKvSystem: the partition update path (hybrid clocks of Algorithm 2,
+// metadata batching toward the local Eunomia, direct payload fan-out to
+// sibling partitions), the Eunomia stabilizer shipping ordered metadata to
+// every remote receiver, the Algorithm 5 receiver, session vector clocks
+// and visibility bookkeeping. All interaction with the world goes through
+// the Environment seam (environment.h): the simulator binding reproduces
+// the pre-extraction discrete-event behaviour bit-for-bit; the real
+// binding (geo_node.h) runs the same code over threads and sockets.
+//
+// Threading: the runtime is single-threaded by contract. The binding must
+// serialize every call (client entry points, message ingress, timer
+// callbacks) — the simulator is naturally serial, the real binding routes
+// everything through one event loop per datacenter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/clock/hybrid_clock.h"
+#include "src/clock/physical_clock.h"
+#include "src/common/types.h"
+#include "src/eunomia/core.h"
+#include "src/eunomia/sender.h"
+#include "src/georep/config.h"
+#include "src/georep/geo_store.h"
+#include "src/georep/receiver.h"
+#include "src/georep/remote_update.h"
+#include "src/georep/runtime/environment.h"
+#include "src/georep/visibility.h"
+#include "src/store/hash_ring.h"
+
+namespace eunomia::geo::rt {
+
+// Client-session map: ClientId -> VClock_c (Table 2). The sim binding
+// shares one map across its datacenters (clients are objects of the whole
+// simulated world); a real datacenter node owns the sessions of the
+// clients attached to it.
+using SessionMap = std::unordered_map<ClientId, VectorTimestamp>;
+
+class DatacenterRuntime {
+ public:
+  // `clocks` holds one loosely synchronized physical clock per partition
+  // (the binding decides the skew model). `tracker`, `uids` and `sessions`
+  // are borrowed and must outlive the runtime.
+  DatacenterRuntime(DatacenterId id, const GeoConfig& config, Environment* env,
+                    VisibilityTracker* tracker, UidAllocator* uids,
+                    SessionMap* sessions, std::vector<PhysicalClock> clocks);
+
+  DatacenterRuntime(const DatacenterRuntime&) = delete;
+  DatacenterRuntime& operator=(const DatacenterRuntime&) = delete;
+
+  DatacenterId id() const { return id_; }
+
+  // Schedules the recurring partition-flush, stabilizer and receiver-check
+  // timers. Call exactly once, after every peer datacenter is reachable.
+  void StartTimers();
+
+  // --- client entry points ---------------------------------------------------
+  void ClientRead(ClientId client, Key key, std::function<void()> done);
+  void ClientUpdate(ClientId client, Key key, Value value,
+                    std::function<void()> done);
+
+  // --- message ingress (invoked by the binding on delivery) ------------------
+  // At the Eunomia node: one partition's timestamp-ordered metadata batch /
+  // heartbeat (FIFO per partition).
+  void OnMetadataBatch(const std::vector<OpRecord>& batch);
+  void OnHeartbeat(PartitionId partition, Timestamp ts);
+  // At the receiver: ordered metadata from a remote Eunomia (FIFO per
+  // origin), and the scalar-mode stable-frontier beacon.
+  void OnRemoteMetadata(const std::vector<RemoteUpdate>& batch);
+  void OnFrontier(DatacenterId origin, Timestamp frontier);
+  // At a partition: a sibling's payload (unordered).
+  void OnPayload(PartitionId partition, RemotePayload payload);
+
+  // Straggler injection (§7.2.3): overrides the partition -> Eunomia
+  // communication interval for one partition.
+  void SetPartitionCommInterval(PartitionId partition,
+                                std::uint64_t interval_us);
+
+  // --- introspection ---------------------------------------------------------
+  const GeoStore& StoreAt(PartitionId partition) const;
+  const Receiver& receiver() const { return *receiver_; }
+  const EunomiaCore& eunomia() const { return eunomia_; }
+  const VectorTimestamp* SessionOf(ClientId client) const;
+  std::uint64_t updates_installed() const { return updates_installed_; }
+  const GeoConfig& config() const { return config_; }
+
+ private:
+  struct Partition {
+    PartitionId id = 0;
+    PhysicalClock clock;
+    // Tie-free hybrid clock: timestamps are partition-tagged in their low
+    // bits so no two partitions of this DC ever issue equal values (see
+    // clock/hybrid_clock.h for why Algorithm 5 wants this).
+    PartitionedHybridClock hybrid;
+    GeoStore store;
+    PartitionBatcher batcher;
+    std::uint64_t comm_interval_us = 1000;
+    // Data/metadata separation state: payloads received ahead of metadata,
+    // and metadata go-aheads waiting for payloads.
+    std::unordered_map<std::uint64_t, RemotePayload> payloads;
+    std::unordered_map<std::uint64_t, std::function<void()>> pending_applies;
+  };
+
+  void SchedulePartitionFlush(PartitionId p);
+  void FlushPartition(PartitionId p);
+  void ScheduleStabilizer();
+  void RunStabilizer();
+  void ScheduleReceiverCheck();
+
+  void ExecuteUpdate(Partition& part, ClientId client, Key key, Value value,
+                     std::function<void()> done, std::uint64_t issued_at);
+  void ApplyRemote(PartitionId p, const RemoteUpdate& meta,
+                   std::function<void()> done);
+  void ExecuteRemote(Partition& part, std::uint64_t uid,
+                     std::function<void()> done);
+
+  const DatacenterId id_;
+  const GeoConfig config_;
+  Environment* const env_;
+  VisibilityTracker* const tracker_;
+  UidAllocator* const uids_;
+  SessionMap* const sessions_;
+  store::ConsistentHashRing router_;
+  std::vector<Partition> partitions_;
+  EunomiaCore eunomia_;
+  std::unique_ptr<Receiver> receiver_;
+  // Metadata registry: uid -> shipping metadata, kept at the origin until
+  // Eunomia stabilizes and ships it.
+  std::unordered_map<std::uint64_t, RemoteUpdate> registry_;
+  std::uint64_t updates_installed_ = 0;
+  std::vector<OpRecord> stable_scratch_;
+};
+
+}  // namespace eunomia::geo::rt

@@ -1,0 +1,110 @@
+#include "src/georep/runtime/event_loop.h"
+
+#include <future>
+
+namespace eunomia::geo::rt {
+
+EventLoop::EventLoop() : epoch_(std::chrono::steady_clock::now()) {}
+
+EventLoop::~EventLoop() { Stop(); }
+
+std::uint64_t EventLoop::Now() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void EventLoop::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_ || stopped_) {
+    return;
+  }
+  running_ = true;
+  thread_ = std::thread([this] { RunLoop(); });
+  loop_thread_id_ = thread_.get_id();
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) {
+      return;
+    }
+    stopped_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+  tasks_.clear();
+}
+
+void EventLoop::ScheduleAfter(std::uint64_t delay_us,
+                              std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) {
+    return;
+  }
+  tasks_.emplace(std::make_pair(Now() + delay_us, next_seq_++), std::move(fn));
+  cv_.notify_all();
+}
+
+void EventLoop::RunBlocking(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ || stopped_) {
+      fn();  // loop not live: the caller is the only executor
+      return;
+    }
+  }
+  if (InLoopThread()) {
+    fn();
+    return;
+  }
+  auto done = std::make_shared<std::promise<void>>();
+  auto future = done->get_future();
+  Post([&fn, done] {
+    fn();
+    done->set_value();
+  });
+  // Wait, but survive a concurrent Stop(): Stop discards queued tasks, so
+  // once the loop is down and our task did not run, execute inline — the
+  // joined loop thread can no longer touch runtime state.
+  while (future.wait_for(std::chrono::milliseconds(20)) !=
+         std::future_status::ready) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ && !running_) {
+      if (future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        fn();
+      }
+      return;
+    }
+  }
+}
+
+void EventLoop::RunLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopped_) {
+    if (tasks_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const std::uint64_t due = tasks_.begin()->first.first;
+    if (due > Now()) {
+      cv_.wait_until(lock, epoch_ + std::chrono::microseconds(due));
+      continue;
+    }
+    auto it = tasks_.begin();
+    std::function<void()> fn = std::move(it->second);
+    tasks_.erase(it);
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
+}
+
+}  // namespace eunomia::geo::rt

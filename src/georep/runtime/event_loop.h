@@ -1,0 +1,73 @@
+// A single-threaded timer/task loop: the real-world stand-in for the
+// discrete-event simulator's one-at-a-time event execution.
+//
+// Each real datacenter node (geo_node.h) owns one EventLoop and routes
+// every runtime interaction through it — timers, client operations,
+// messages arriving from transport threads — which is how the real binding
+// honours the Environment contract that all DatacenterRuntime calls are
+// serialized and never reentrant.
+//
+// Tasks run in (due time, submission order) priority; Post(fn) is
+// ScheduleAfter(0). Stop() discards pending tasks and joins the thread, so
+// after Stop returns no task is running or will run — state owned by loop
+// tasks may then be inspected from any thread.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace eunomia::geo::rt {
+
+class EventLoop {
+ public:
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  void Start();
+  void Stop();
+
+  // Monotonic microseconds since construction.
+  std::uint64_t Now() const;
+
+  // Runs fn on the loop thread no earlier than delay_us from now. Safe from
+  // any thread, including loop tasks themselves. A no-op after Stop.
+  void ScheduleAfter(std::uint64_t delay_us, std::function<void()> fn);
+  void Post(std::function<void()> fn) { ScheduleAfter(0, std::move(fn)); }
+
+  // Runs fn on the loop thread and blocks until it completed — the safe way
+  // to inspect runtime state while the loop is live. Executes fn inline
+  // when the loop is not running (then the caller is the only thread).
+  void RunBlocking(std::function<void()> fn);
+
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == loop_thread_id_;
+  }
+
+ private:
+  void RunLoop();
+
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // (due time us, submission seq) -> task; multimap iteration order is the
+  // execution order.
+  std::multimap<std::pair<std::uint64_t, std::uint64_t>,
+                std::function<void()>>
+      tasks_;
+  std::uint64_t next_seq_ = 0;
+  bool running_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+  std::thread::id loop_thread_id_;
+};
+
+}  // namespace eunomia::geo::rt

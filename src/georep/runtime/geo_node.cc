@@ -1,0 +1,301 @@
+#include "src/georep/runtime/geo_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/clock/physical_clock.h"
+#include "src/georep/runtime/geo_wire.h"
+
+namespace eunomia::geo::rt {
+
+namespace gw = ::eunomia::geo::rt::wire;
+namespace nw = ::eunomia::net::wire;
+
+GeoNode::GeoNode(net::Transport* transport, Options options)
+    : transport_(transport),
+      options_(std::move(options)),
+      // num_datacenters=2: a per-node tracker sees exactly one visibility
+      // report per remote update (its own), so the destination-side stub
+      // records reclaim after that single report.
+      tracker_(options_.config.timeline_window_us, /*num_datacenters=*/2),
+      // Coordination-free uid streams: uid ≡ dc (mod num_dcs).
+      uids_(options_.dc, options_.config.num_dcs),
+      peers_(options_.config.num_dcs) {
+  if (options_.detailed_visibility) {
+    tracker_.EnableDetailedLog();
+  }
+  // Remote nodes report visibility of this node's updates to their own
+  // trackers, never to ours: retaining origin records here would leak one
+  // entry per local update for the daemon's lifetime.
+  tracker_.DisableInstallRetention();
+  // Real nodes read one shared monotonic clock through Environment::Now();
+  // inter-process skew (and the hybrid clock's resilience to it) comes from
+  // the deployment, not from an injected model.
+  std::vector<PhysicalClock> clocks(options_.config.partitions_per_dc);
+  runtime_ = std::make_unique<DatacenterRuntime>(
+      options_.dc, options_.config, static_cast<Environment*>(this), &tracker_,
+      &uids_, &sessions_, std::move(clocks));
+}
+
+GeoNode::~GeoNode() { Stop(); }
+
+std::string GeoNode::Listen(const std::string& address) {
+  return transport_->Listen(
+      address, [this](const std::shared_ptr<net::Connection>&) {
+        return MakeInboundHandler();
+      });
+}
+
+bool GeoNode::ConnectPeer(DatacenterId peer, const std::string& address) {
+  if (peer >= peers_.size() || peer == options_.dc || started_.load()) {
+    return false;
+  }
+  auto dial = [&](std::uint32_t link_kind) -> std::shared_ptr<net::Connection> {
+    auto connection = transport_->Dial(
+        address,
+        net::ConnectionHandler{
+            // Peer links are one-directional: nothing flows back.
+            [this](net::Connection& c, nw::Frame&&) {
+              wire_errors_.fetch_add(1, std::memory_order_relaxed);
+              c.Close();
+            },
+            [](net::Connection&, nw::WireError) {}});
+    if (connection == nullptr) {
+      return nullptr;
+    }
+    gw::GeoHelloMsg hello;
+    hello.dc = options_.dc;
+    hello.num_dcs = options_.config.num_dcs;
+    hello.partitions = options_.config.partitions_per_dc;
+    hello.link_kind = link_kind;
+    if (!connection->SendFrame(nw::MsgType::kGeoHello,
+                               gw::EncodeGeoHello(hello))) {
+      connection->Close();
+      return nullptr;
+    }
+    return connection;
+  };
+  Peer& entry = peers_[peer];
+  entry.metadata = dial(gw::kMetadataLink);
+  entry.payloads = dial(gw::kPayloadLink);
+  return entry.metadata != nullptr && entry.payloads != nullptr;
+}
+
+void GeoNode::Start() {
+  if (started_.exchange(true)) {
+    return;
+  }
+  loop_.Start();
+  loop_.Post([this] { runtime_->StartTimers(); });
+}
+
+void GeoNode::Stop() {
+  if (stopped_.exchange(true)) {
+    return;
+  }
+  // Transport first: joins every delivery thread (no more inbound posts,
+  // and blocked outbound sends fail fast), then the loop.
+  transport_->Shutdown();
+  loop_.Stop();
+}
+
+void GeoNode::ClientRead(ClientId client, Key key,
+                         std::function<void()> done) {
+  loop_.Post([this, client, key, done = std::move(done)]() mutable {
+    runtime_->ClientRead(client, key, std::move(done));
+  });
+}
+
+void GeoNode::ClientUpdate(ClientId client, Key key, Value value,
+                           std::function<void()> done) {
+  loop_.Post([this, client, key, value = std::move(value),
+              done = std::move(done)]() mutable {
+    runtime_->ClientUpdate(client, key, std::move(value), std::move(done));
+  });
+}
+
+void GeoNode::PausePayloadsTo(DatacenterId peer, bool paused) {
+  loop_.RunBlocking([this, peer, paused] {
+    Peer& entry = peers_[peer];
+    entry.paused = paused;
+    if (!paused) {
+      for (const std::string& frame : entry.parked) {
+        SendOnLink(entry.payloads, nw::MsgType::kGeoPayload, frame);
+      }
+      entry.parked.clear();
+    }
+  });
+}
+
+// --- Environment -------------------------------------------------------------
+
+void GeoNode::ScheduleAfter(DatacenterId, std::uint64_t delay_us,
+                            std::function<void()> fn) {
+  loop_.ScheduleAfter(delay_us, std::move(fn));
+}
+
+void GeoNode::ClientHop(DatacenterId, std::function<void()> fn) {
+  // No artificial latency: the real network already charged it.
+  loop_.Post(std::move(fn));
+}
+
+void GeoNode::RunOnPartition(DatacenterId, PartitionId, std::uint64_t, bool,
+                             std::function<void()> fn) {
+  // No cost model: real work takes real time on the loop.
+  loop_.Post(std::move(fn));
+}
+
+void GeoNode::SendMetadataBatch(DatacenterId, PartitionId,
+                                std::vector<OpRecord> batch) {
+  // Partition and Eunomia node live in this process: a local hop.
+  loop_.Post([this, batch = std::move(batch)] {
+    runtime_->OnMetadataBatch(batch);
+  });
+}
+
+void GeoNode::SendHeartbeat(DatacenterId, PartitionId partition,
+                            Timestamp ts) {
+  loop_.Post([this, partition, ts] { runtime_->OnHeartbeat(partition, ts); });
+}
+
+void GeoNode::ChargeEunomia(DatacenterId, std::uint64_t) {}
+
+void GeoNode::SendOnLink(const std::shared_ptr<net::Connection>& link,
+                         nw::MsgType type, const std::string& payload) {
+  if (link == nullptr || !link->SendFrame(type, payload)) {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void GeoNode::SendRemoteMetadata(DatacenterId, DatacenterId to,
+                                 std::vector<RemoteUpdate> batch) {
+  const Peer& peer = peers_[to];
+  // Chunked onto one FIFO connection: the shipping order — which the
+  // remote receiver's Algorithm 5 queues rely on — is preserved.
+  const std::size_t max_per_frame =
+      gw::MaxGeoUpdatesPerFrame(options_.config.num_dcs);
+  for (std::size_t i = 0; i < batch.size(); i += max_per_frame) {
+    const std::size_t n = std::min(max_per_frame, batch.size() - i);
+    SendOnLink(peer.metadata, nw::MsgType::kGeoMetaBatch,
+               gw::EncodeGeoMetaBatch(options_.dc, batch.data() + i, n));
+  }
+}
+
+void GeoNode::SendFrontier(DatacenterId, DatacenterId to, Timestamp frontier) {
+  SendOnLink(peers_[to].metadata, nw::MsgType::kGeoFrontier,
+             gw::EncodeGeoFrontier({options_.dc, frontier}));
+}
+
+void GeoNode::SendPayload(DatacenterId, DatacenterId to, PartitionId partition,
+                          RemotePayload payload) {
+  Peer& peer = peers_[to];
+  gw::GeoPayloadMsg msg;
+  msg.partition = partition;
+  msg.payload = std::move(payload);
+  std::string frame = gw::EncodeGeoPayload(msg);
+  if (peer.paused) {
+    peer.parked.push_back(std::move(frame));
+    return;
+  }
+  SendOnLink(peer.payloads, nw::MsgType::kGeoPayload, frame);
+}
+
+void GeoNode::SendApply(DatacenterId, PartitionId, std::function<void()> fn) {
+  loop_.Post(std::move(fn));
+}
+
+// --- inbound peer links ------------------------------------------------------
+
+net::ConnectionHandler GeoNode::MakeInboundHandler() {
+  // Per-connection state lives in the handler closure; transports invoke a
+  // connection's callbacks from a single thread, so no lock is needed.
+  struct Inbound {
+    bool hello_done = false;
+    DatacenterId peer_dc = 0;
+    std::uint32_t link_kind = gw::kMetadataLink;
+  };
+  auto state = std::make_shared<Inbound>();
+  net::ConnectionHandler handler;
+  handler.on_frame = [this, state](net::Connection& connection,
+                                   nw::Frame&& frame) {
+    auto reject = [this, &connection] {
+      wire_errors_.fetch_add(1, std::memory_order_relaxed);
+      connection.Close();
+    };
+    if (!state->hello_done) {
+      gw::GeoHelloMsg hello;
+      if (frame.type != nw::MsgType::kGeoHello ||
+          !gw::DecodeGeoHello(frame.payload, &hello) ||
+          hello.protocol_version != nw::kProtocolVersion ||
+          hello.num_dcs != options_.config.num_dcs ||
+          hello.partitions != options_.config.partitions_per_dc ||
+          hello.dc >= options_.config.num_dcs || hello.dc == options_.dc ||
+          (hello.link_kind != gw::kMetadataLink &&
+           hello.link_kind != gw::kPayloadLink)) {
+        reject();
+        return;
+      }
+      state->hello_done = true;
+      state->peer_dc = hello.dc;
+      state->link_kind = hello.link_kind;
+      return;
+    }
+    switch (frame.type) {
+      case nw::MsgType::kGeoMetaBatch: {
+        gw::GeoMetaBatchMsg msg;
+        if (state->link_kind != gw::kMetadataLink ||
+            !gw::DecodeGeoMetaBatch(frame.payload, &msg) ||
+            msg.origin != state->peer_dc) {
+          reject();
+          return;
+        }
+        for (const RemoteUpdate& u : msg.updates) {
+          if (u.origin != msg.origin ||
+              u.partition >= options_.config.partitions_per_dc ||
+              u.vts.size() != options_.config.num_dcs) {
+            reject();
+            return;
+          }
+        }
+        loop_.Post([this, updates = std::move(msg.updates)] {
+          runtime_->OnRemoteMetadata(updates);
+        });
+        return;
+      }
+      case nw::MsgType::kGeoFrontier: {
+        gw::GeoFrontierMsg msg;
+        if (state->link_kind != gw::kMetadataLink ||
+            !gw::DecodeGeoFrontier(frame.payload, &msg) ||
+            msg.origin != state->peer_dc) {
+          reject();
+          return;
+        }
+        loop_.Post([this, msg] { runtime_->OnFrontier(msg.origin, msg.frontier); });
+        return;
+      }
+      case nw::MsgType::kGeoPayload: {
+        gw::GeoPayloadMsg msg;
+        if (state->link_kind != gw::kPayloadLink ||
+            !gw::DecodeGeoPayload(frame.payload, &msg) ||
+            msg.payload.origin != state->peer_dc ||
+            msg.partition >= options_.config.partitions_per_dc ||
+            msg.payload.vts.size() != options_.config.num_dcs) {
+          reject();
+          return;
+        }
+        loop_.Post([this, partition = msg.partition,
+                    payload = std::move(msg.payload)]() mutable {
+          runtime_->OnPayload(partition, std::move(payload));
+        });
+        return;
+      }
+      default:
+        reject();
+        return;
+    }
+  };
+  handler.on_close = [](net::Connection&, nw::WireError) {};
+  return handler;
+}
+
+}  // namespace eunomia::geo::rt

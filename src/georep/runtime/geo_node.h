@@ -1,0 +1,156 @@
+// GeoNode — the real-world binding of the geo-replication runtime: one
+// datacenter of the EunomiaKV deployment on real threads, behind a
+// net::Transport (TCP or in-process loopback).
+//
+// A node hosts the full DatacenterRuntime (partitions, the Eunomia
+// stabilizer, the Algorithm 5 receiver) on a single event loop, which
+// provides the serialization the runtime's Environment contract requires.
+// Cross-datacenter traffic travels transport connections this node dials
+// to every peer — per directed pair, a FIFO *metadata link* (ordered
+// kGeoMetaBatch shipping + scalar-mode kGeoFrontier beacons) and a
+// separate *payload link* (unordered kGeoPayload fan-out), the §5
+// data/metadata separation made literal. Inbound links are validated by a
+// kGeoHello naming the dialer and the deployment shape; any malformed or
+// out-of-place frame closes the connection.
+//
+// Lifecycle: Listen -> ConnectPeer (for every peer) -> Start -> client
+// traffic -> Stop. Stop shuts the transport down (the transport becomes
+// dedicated to this node, as with net::EunomiaServer) and joins the event
+// loop; afterwards every accessor is safe from any thread. While the node
+// is live, inspect runtime state only through RunBlocking.
+//
+// The client API mirrors the protocol contract: done callbacks run on the
+// node's event loop once the operation completed locally — closed-loop
+// drivers chain the next operation from there.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/georep/config.h"
+#include "src/georep/runtime/datacenter_runtime.h"
+#include "src/georep/runtime/environment.h"
+#include "src/georep/runtime/event_loop.h"
+#include "src/georep/visibility.h"
+#include "src/net/transport.h"
+
+namespace eunomia::geo::rt {
+
+class GeoNode final : private Environment {
+ public:
+  struct Options {
+    DatacenterId dc = 0;
+    // Deployment shape + protocol timers. The simulator-only knobs
+    // (CostModel, clock skew, NetworkConfig latencies) are ignored: real
+    // time and the real network provide them.
+    GeoConfig config;
+    // Forwarded to the node's VisibilityTracker.
+    bool detailed_visibility = false;
+  };
+
+  // The transport becomes dedicated to this node; Stop() shuts it down.
+  GeoNode(net::Transport* transport, Options options);
+  ~GeoNode() override;
+
+  GeoNode(const GeoNode&) = delete;
+  GeoNode& operator=(const GeoNode&) = delete;
+
+  // Starts listening for peer links. Returns the bound address ("" on
+  // failure).
+  std::string Listen(const std::string& address);
+
+  // Dials the metadata + payload links to `peer`. False on any failure.
+  bool ConnectPeer(DatacenterId peer, const std::string& address);
+
+  // Starts the event loop and the protocol timers. Call after every peer
+  // is connected.
+  void Start();
+
+  // Idempotent. Afterwards no callback is running or will run.
+  void Stop();
+
+  // --- client API ------------------------------------------------------------
+  void ClientRead(ClientId client, Key key, std::function<void()> done);
+  void ClientUpdate(ClientId client, Key key, Value value,
+                    std::function<void()> done);
+
+  // --- introspection ---------------------------------------------------------
+  DatacenterId dc() const { return options_.dc; }
+  // Runs fn on the event loop and blocks until done — the safe way to read
+  // runtime/tracker state while the node is live.
+  void RunBlocking(std::function<void()> fn) { loop_.RunBlocking(fn); }
+  const DatacenterRuntime& runtime() const { return *runtime_; }
+  VisibilityTracker& tracker() { return tracker_; }
+  const VisibilityTracker& tracker() const { return tracker_; }
+
+  // Frames rejected on inbound links (protocol violations) and outbound
+  // sends that failed (peer missing / connection down).
+  std::uint64_t wire_errors() const {
+    return wire_errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t send_failures() const {
+    return send_failures_.load(std::memory_order_relaxed);
+  }
+
+  // Test hook for the causality e2e: while paused, outbound payloads to
+  // `peer` are parked (metadata keeps flowing, so the remote receiver
+  // issues go-aheads that must wait for the payload); resume releases them
+  // in the original order.
+  void PausePayloadsTo(DatacenterId peer, bool paused);
+
+ private:
+  struct Peer {
+    std::shared_ptr<net::Connection> metadata;
+    std::shared_ptr<net::Connection> payloads;
+    bool paused = false;
+    // Encoded kGeoPayload frames parked while paused.
+    std::vector<std::string> parked;
+  };
+
+  // Environment implementation (all invoked from the loop thread).
+  std::uint64_t Now() const override { return loop_.Now(); }
+  void ScheduleAfter(DatacenterId dc, std::uint64_t delay_us,
+                     std::function<void()> fn) override;
+  void ClientHop(DatacenterId dc, std::function<void()> fn) override;
+  void RunOnPartition(DatacenterId dc, PartitionId partition,
+                      std::uint64_t cost_us, bool priority,
+                      std::function<void()> fn) override;
+  void SendMetadataBatch(DatacenterId dc, PartitionId partition,
+                         std::vector<OpRecord> batch) override;
+  void SendHeartbeat(DatacenterId dc, PartitionId partition,
+                     Timestamp ts) override;
+  void ChargeEunomia(DatacenterId dc, std::uint64_t cost_us) override;
+  void SendRemoteMetadata(DatacenterId from, DatacenterId to,
+                          std::vector<RemoteUpdate> batch) override;
+  void SendFrontier(DatacenterId from, DatacenterId to,
+                    Timestamp frontier) override;
+  void SendPayload(DatacenterId from, DatacenterId to, PartitionId partition,
+                   RemotePayload payload) override;
+  void SendApply(DatacenterId dc, PartitionId partition,
+                 std::function<void()> fn) override;
+
+  net::ConnectionHandler MakeInboundHandler();
+  void SendOnLink(const std::shared_ptr<net::Connection>& link,
+                  net::wire::MsgType type, const std::string& payload);
+
+  net::Transport* const transport_;
+  const Options options_;
+  EventLoop loop_;
+  VisibilityTracker tracker_;
+  UidAllocator uids_;
+  SessionMap sessions_;
+  std::unique_ptr<DatacenterRuntime> runtime_;
+  std::vector<Peer> peers_;  // indexed by DatacenterId; [dc()] unused
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> wire_errors_{0};
+  std::atomic<std::uint64_t> send_failures_{0};
+};
+
+}  // namespace eunomia::geo::rt

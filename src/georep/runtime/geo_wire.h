@@ -1,0 +1,86 @@
+// Wire codecs for the geo-replication peer links (message types kGeoHello /
+// kGeoMetaBatch / kGeoFrontier / kGeoPayload of src/net/wire.h).
+//
+// A real deployment connects every ordered pair of datacenters (m, k) with
+// two transport connections dialed by m:
+//
+//   - the *metadata link* (kMetadataLink): kGeoMetaBatch frames carrying
+//     stabilization-ordered RemoteUpdate records, interleaved with
+//     kGeoFrontier beacons in scalar mode. The transport session's FIFO
+//     guarantee IS the §4 "FIFO links between datacenters" assumption, and
+//     the beacon-after-batch invariant the scalar receiver relies on holds
+//     because both travel the same connection.
+//   - the *payload link* (kPayloadLink): kGeoPayload frames fanned out by
+//     partitions as soon as an update commits (§5 — no ordering
+//     constraints, so keeping them off the metadata link means a large
+//     value can never head-of-line-block stabilization metadata).
+//
+// Every link opens with one kGeoHello naming the dialer's datacenter, the
+// deployment shape (which must match the acceptor's) and the link kind.
+// All decoders return false on any structural violation; callers treat that
+// as WireError::kMalformedPayload and drop the session.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/georep/remote_update.h"
+#include "src/net/wire.h"
+
+namespace eunomia::geo::rt::wire {
+
+inline constexpr std::uint32_t kMetadataLink = 0;
+inline constexpr std::uint32_t kPayloadLink = 1;
+
+// Serialized RemoteUpdate size for a given vector-timestamp width, and the
+// largest update count senders may put into one kGeoMetaBatch frame
+// (senders chunk bigger stabilizer emissions into consecutive frames on the
+// same FIFO link, which preserves the shipping order).
+inline constexpr std::size_t RemoteUpdateWireBytes(std::uint32_t num_dcs) {
+  return 8 + 8 + 4 + 4 + 4 + 8 * static_cast<std::size_t>(num_dcs);
+}
+inline constexpr std::size_t MaxGeoUpdatesPerFrame(std::uint32_t num_dcs) {
+  return (net::wire::kMaxPayloadBytes - 8) / RemoteUpdateWireBytes(num_dcs);
+}
+
+struct GeoHelloMsg {
+  std::uint32_t protocol_version = net::wire::kProtocolVersion;
+  DatacenterId dc = 0;         // the dialing datacenter
+  std::uint32_t num_dcs = 0;   // deployment shape — must match the acceptor
+  std::uint32_t partitions = 0;
+  std::uint32_t link_kind = kMetadataLink;
+};
+
+struct GeoMetaBatchMsg {
+  DatacenterId origin = 0;
+  std::vector<RemoteUpdate> updates;
+};
+
+struct GeoFrontierMsg {
+  DatacenterId origin = 0;
+  Timestamp frontier = 0;
+};
+
+struct GeoPayloadMsg {
+  PartitionId partition = 0;  // the sibling partition responsible for the key
+  RemotePayload payload;
+};
+
+std::string EncodeGeoHello(const GeoHelloMsg& msg);
+bool DecodeGeoHello(std::string_view payload, GeoHelloMsg* msg);
+
+// Pointer/count form so the stabilizer can chunk without copying sub-vectors.
+std::string EncodeGeoMetaBatch(DatacenterId origin, const RemoteUpdate* updates,
+                               std::size_t count);
+bool DecodeGeoMetaBatch(std::string_view payload, GeoMetaBatchMsg* msg);
+
+std::string EncodeGeoFrontier(const GeoFrontierMsg& msg);
+bool DecodeGeoFrontier(std::string_view payload, GeoFrontierMsg* msg);
+
+std::string EncodeGeoPayload(const GeoPayloadMsg& msg);
+bool DecodeGeoPayload(std::string_view payload, GeoPayloadMsg* msg);
+
+}  // namespace eunomia::geo::rt::wire

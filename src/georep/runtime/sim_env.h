@@ -1,0 +1,83 @@
+// Simulator binding of the geo-runtime Environment.
+//
+// Reproduces the pre-extraction EunomiaKvSystem event structure exactly:
+// the same endpoints are registered in the same order on one sim::Network
+// (partitions, then the Eunomia node, then the receiver, per datacenter),
+// message sends compose the same network hop + FCFS server submission with
+// the same cost-model charges, and timers map 1:1 onto the simulator's
+// event queue — so a fixed seed produces bit-for-bit the behaviour of the
+// monolithic implementation (pinned by GeoRuntimeTest.SimBindingMatches-
+// PreRefactorGolden).
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "src/georep/config.h"
+#include "src/georep/runtime/datacenter_runtime.h"
+#include "src/georep/runtime/environment.h"
+#include "src/sim/network.h"
+#include "src/sim/server.h"
+#include "src/sim/simulator.h"
+
+namespace eunomia::geo::rt {
+
+class SimGeoEnvironment final : public Environment {
+ public:
+  // Builds the simulated deployment substrate (FCFS servers + endpoints for
+  // every datacenter in `config`). Runtimes are attached afterwards with
+  // RegisterRuntime — the environment and the runtimes reference each other,
+  // so construction is two-phase.
+  SimGeoEnvironment(sim::Simulator* sim, const GeoConfig& config);
+
+  void RegisterRuntime(DatacenterId dc, DatacenterRuntime* runtime) {
+    assert(dc < runtimes_.size());
+    runtimes_[dc] = runtime;
+  }
+
+  std::uint64_t Now() const override { return sim_->now(); }
+  void ScheduleAfter(DatacenterId dc, std::uint64_t delay_us,
+                     std::function<void()> fn) override;
+  void ClientHop(DatacenterId dc, std::function<void()> fn) override;
+  void RunOnPartition(DatacenterId dc, PartitionId partition,
+                      std::uint64_t cost_us, bool priority,
+                      std::function<void()> fn) override;
+  void SendMetadataBatch(DatacenterId dc, PartitionId partition,
+                         std::vector<OpRecord> batch) override;
+  void SendHeartbeat(DatacenterId dc, PartitionId partition,
+                     Timestamp ts) override;
+  void ChargeEunomia(DatacenterId dc, std::uint64_t cost_us) override;
+  void SendRemoteMetadata(DatacenterId from, DatacenterId to,
+                          std::vector<RemoteUpdate> batch) override;
+  void SendFrontier(DatacenterId from, DatacenterId to,
+                    Timestamp frontier) override;
+  void SendPayload(DatacenterId from, DatacenterId to, PartitionId partition,
+                   RemotePayload payload) override;
+  void SendApply(DatacenterId dc, PartitionId partition,
+                 std::function<void()> fn) override;
+
+ private:
+  struct DcSubstrate {
+    std::vector<std::unique_ptr<sim::Server>> servers;
+    std::vector<sim::EndpointId> partition_endpoints;
+    std::unique_ptr<sim::Server> eunomia_server;
+    sim::EndpointId eunomia_endpoint = 0;
+    std::unique_ptr<sim::Server> receiver_server;
+    sim::EndpointId receiver_endpoint = 0;
+  };
+
+  sim::Server* PartitionServer(DatacenterId dc, PartitionId p) {
+    return dcs_[dc]
+        .servers[store::ServerOfPartition(p, config_.servers_per_dc)]
+        .get();
+  }
+
+  sim::Simulator* const sim_;
+  const GeoConfig config_;
+  sim::Network network_;
+  std::vector<DcSubstrate> dcs_;
+  std::vector<DatacenterRuntime*> runtimes_;
+};
+
+}  // namespace eunomia::geo::rt

@@ -43,10 +43,42 @@ class VisibilityTracker {
   // globally unique update id used on the wire.
   std::uint64_t OnInstalled(DatacenterId origin, std::uint64_t t_us) {
     const std::uint64_t uid = next_uid_++;
+    RecordInstalled(uid, origin, t_us);
+    return uid;
+  }
+
+  // Same bookkeeping with an externally allocated uid (the geo runtime owns
+  // uid allocation so a real multi-process deployment can use coordination-
+  // free strided streams; see rt::UidAllocator).
+  void RecordInstalled(std::uint64_t uid, DatacenterId origin,
+                       std::uint64_t t_us) {
+    if (!retain_installs_) {
+      return;
+    }
     const std::uint32_t remaining =
         num_datacenters_ >= 2 ? num_datacenters_ - 1 : 0;
     installed_[uid] = {origin, t_us, remaining};
-    return uid;
+  }
+
+  // A per-datacenter tracker in a real deployment never receives remote
+  // visibility reports for locally installed updates — those land on the
+  // destination nodes' trackers — so retaining origin records would grow
+  // one map entry per local update forever. Disabling retention makes
+  // RecordInstalled a no-op; destination-side EnsureInstalled stubs (which
+  // ARE consulted and reclaimed here) are unaffected.
+  void DisableInstallRetention() { retain_installs_ = false; }
+
+  // Destination-side stub: ensures an origin record exists for `uid` so a
+  // tracker that never saw the install (a per-datacenter tracker in a real
+  // deployment — the install happened in another process) still attributes
+  // visibility samples to the right origin. A no-op when the record exists,
+  // so the sim binding's shared tracker is unaffected.
+  void EnsureInstalled(std::uint64_t uid, DatacenterId origin,
+                       std::uint64_t t_us) {
+    if (installed_.find(uid) == installed_.end()) {
+      installed_[uid] = {origin, t_us,
+                         num_datacenters_ >= 2 ? num_datacenters_ - 1 : 0};
+    }
   }
 
   // Remote data (the update payload) arrived at datacenter dc.
@@ -183,6 +215,7 @@ class VisibilityTracker {
   std::uint32_t num_datacenters_;
   std::uint64_t next_uid_ = 0;
   bool detailed_ = false;
+  bool retain_installs_ = true;
   std::unordered_map<std::uint64_t, std::uint64_t> visible_times_;
   std::unordered_map<std::uint64_t, InstalledRecord> installed_;
   std::unordered_map<std::uint64_t, std::uint64_t> arrivals_;

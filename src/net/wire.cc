@@ -4,73 +4,19 @@
 #include <cassert>
 #include <cstring>
 
+#include "src/net/wire_io.h"
+
 namespace eunomia::net::wire {
 
 namespace {
 
-// Little-endian scalar append/read. memcpy-based reads keep this free of
-// alignment traps; the explicit byte shifts keep it host-order independent.
-void PutU16(std::string* out, std::uint16_t v) {
-  out->push_back(static_cast<char>(v & 0xff));
-  out->push_back(static_cast<char>((v >> 8) & 0xff));
-}
-
-void PutU32(std::string* out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutU64(std::string* out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-std::uint16_t GetU16(const char* p) {
-  const auto* b = reinterpret_cast<const unsigned char*>(p);
-  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
-}
-
-std::uint32_t GetU32(const char* p) {
-  const auto* b = reinterpret_cast<const unsigned char*>(p);
-  return static_cast<std::uint32_t>(b[0]) |
-         (static_cast<std::uint32_t>(b[1]) << 8) |
-         (static_cast<std::uint32_t>(b[2]) << 16) |
-         (static_cast<std::uint32_t>(b[3]) << 24);
-}
-
-std::uint64_t GetU64(const char* p) {
-  return static_cast<std::uint64_t>(GetU32(p)) |
-         (static_cast<std::uint64_t>(GetU32(p + 4)) << 32);
-}
-
-// Bounds-checked sequential payload reader.
-class PayloadReader {
- public:
-  explicit PayloadReader(std::string_view payload) : payload_(payload) {}
-
-  bool U32(std::uint32_t* v) {
-    if (payload_.size() - pos_ < 4) return false;
-    *v = GetU32(payload_.data() + pos_);
-    pos_ += 4;
-    return true;
-  }
-
-  bool U64(std::uint64_t* v) {
-    if (payload_.size() - pos_ < 8) return false;
-    *v = GetU64(payload_.data() + pos_);
-    pos_ += 8;
-    return true;
-  }
-
-  std::size_t remaining() const { return payload_.size() - pos_; }
-  bool done() const { return pos_ == payload_.size(); }
-
- private:
-  std::string_view payload_;
-  std::size_t pos_ = 0;
-};
+using io::GetU16;
+using io::GetU32;
+using io::GetU64;
+using io::PayloadReader;
+using io::PutU16;
+using io::PutU32;
+using io::PutU64;
 
 // One serialized OpRecord: ts u64 | partition u32 | key u64 | tag u64
 // (kOpRecordWireBytes).

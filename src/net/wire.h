@@ -64,10 +64,17 @@ enum class MsgType : std::uint8_t {
   kSubscribe = 6,    // client -> server: start streaming stable batches
   kSubscribeAck = 7, // server -> client: subscribed; carries the next stream seq
   kStableBatch = 8,  // server -> client: stable ops in (ts, partition) order
+
+  // Geo-replication peer links (one datacenter node to another; payload
+  // codecs live with the geo runtime in src/georep/runtime/geo_wire.h).
+  kGeoHello = 9,     // link opener: origin DC, deployment shape, link kind
+  kGeoMetaBatch = 10, // Eunomia@m -> receiver@k: stabilized metadata, FIFO
+  kGeoFrontier = 11, // Eunomia@m -> receiver@k: scalar-mode stable beacon
+  kGeoPayload = 12,  // partition (m,p) -> sibling (k,p): one update payload
 };
 
 inline constexpr std::uint8_t kMinMsgType = 1;
-inline constexpr std::uint8_t kMaxMsgType = 8;
+inline constexpr std::uint8_t kMaxMsgType = 12;
 
 enum class WireError : std::uint8_t {
   kNone = 0,

@@ -1,0 +1,88 @@
+// Shared little-endian byte codecs for wire payloads.
+//
+// One definition of the scalar writers and the bounds-checked sequential
+// reader, used by the core wire format (src/net/wire.cc) and the geo
+// runtime's peer-link codecs (src/georep/runtime/geo_wire.cc) — the
+// endianness and bounds logic must not be able to diverge between them.
+// All integers are little-endian regardless of host order; reads are
+// byte-wise, so there are no alignment traps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace eunomia::net::wire::io {
+
+inline void PutU16(std::string* out, std::uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline std::uint16_t GetU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+inline std::uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+inline std::uint64_t GetU64(const char* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         (static_cast<std::uint64_t>(GetU32(p + 4)) << 32);
+}
+
+// Bounds-checked sequential payload reader. Every accessor returns false
+// instead of reading past the end; decoders combine the calls with && and
+// finish with done() so trailing garbage is rejected too.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view payload) : payload_(payload) {}
+
+  bool U32(std::uint32_t* v) {
+    if (payload_.size() - pos_ < 4) return false;
+    *v = GetU32(payload_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+
+  bool U64(std::uint64_t* v) {
+    if (payload_.size() - pos_ < 8) return false;
+    *v = GetU64(payload_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+
+  bool Bytes(std::uint32_t len, std::string* out) {
+    if (remaining() < len) return false;
+    out->assign(payload_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  std::size_t remaining() const { return payload_.size() - pos_; }
+  bool done() const { return pos_ == payload_.size(); }
+
+ private:
+  std::string_view payload_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace eunomia::net::wire::io

@@ -60,6 +60,7 @@ class SeqSystem final : public GeoSystem {
                     std::function<void()> done) override;
 
   VisibilityTracker& tracker() override { return tracker_; }
+  const VisibilityTracker& tracker() const override { return tracker_; }
 
   // Straggler injection (§7.2.3): adds a constant extra delay on the
   // partition -> sequencer channel, modelling a partition whose

@@ -211,6 +211,25 @@ TEST(VisibilityTrackerTest, HighDatacenterIdsDoNotAliasAcrossUids) {
   EXPECT_EQ(tracker.PendingArrivals(), 0u);
 }
 
+TEST(VisibilityTrackerTest, InstallRetentionDisabledForPerNodeTrackers) {
+  // A real GeoNode's tracker never hears back about its own updates (remote
+  // visibility lands on the destinations' trackers), so origin records must
+  // not accumulate — while destination-side EnsureInstalled stubs still
+  // work and reclaim after the node's single visibility report.
+  VisibilityTracker tracker(1'000'000, /*num_datacenters=*/2);
+  tracker.DisableInstallRetention();
+  tracker.RecordInstalled(/*uid=*/7, /*origin=*/0, /*t_us=*/100);
+  EXPECT_EQ(tracker.TrackedInstalls(), 0u);
+
+  tracker.EnsureInstalled(/*uid=*/42, /*origin=*/1, /*t_us=*/200);
+  EXPECT_EQ(tracker.TrackedInstalls(), 1u);
+  tracker.OnRemoteArrival(42, 0, 250);
+  tracker.OnRemoteVisible(42, 0, 300);
+  EXPECT_EQ(tracker.TrackedInstalls(), 0u);
+  ASSERT_NE(tracker.Visibility(1, 0), nullptr);
+  EXPECT_DOUBLE_EQ(tracker.Visibility(1, 0)->Quantile(1.0), 50.0);
+}
+
 TEST(VisibilityTrackerTest, InstalledRecordsReclaimedOnceFullyVisible) {
   // Regression: installed_ grew one entry per update for the whole run.
   // With the datacenter count known, the origin record is dropped once all

@@ -32,6 +32,7 @@ class RecordingSystem final : public geo::GeoSystem {
     sim_->ScheduleAfter(latency_us_, std::move(done));
   }
   geo::VisibilityTracker& tracker() override { return tracker_; }
+  const geo::VisibilityTracker& tracker() const override { return tracker_; }
 
   struct OpInfo {
     ClientId client;
