@@ -8,11 +8,13 @@
 //     non-FT) and dies at the second;
 //   - 3-FT survives both and recovers to full throughput within seconds.
 //
-// Our timeline is scaled down (18 s instead of 700 s; crashes at t=6 s and
-// t=12 s); the crashed replica is the current leader each time, forcing a
-// takeover.
+// Our timeline is scaled down (12 s instead of 700 s; crashes at t=4 s and
+// t=8 s — halved again under --smoke); the crashed replica is the current
+// leader each time, forcing a takeover. --smoke also emits the same
+// BENCH_fig4.json the full run writes, so CI can archive the timeline.
 #include <cstdio>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "bench/flags.h"
@@ -30,19 +32,32 @@ using harness::Table;
 // *timeline* around crashes (drop to zero vs seamless takeover), not about
 // the service ceiling, so it stays meaningful on small machines.
 constexpr std::uint32_t kPartitions = 4;
-constexpr std::uint64_t kDurationUs = 12'000'000;
-constexpr std::uint64_t kFirstCrashUs = 4'000'000;
-constexpr std::uint64_t kSecondCrashUs = 8'000'000;
-constexpr std::uint64_t kWindowUs = 1'000'000;
 
-std::vector<double> MeasureTimeline(std::uint32_t replicas, bool inject_failures) {
+// Timeline scale; --smoke halves every edge so the whole figure (four runs)
+// fits in well under a minute of CI time.
+struct Scale {
+  std::uint64_t duration_us;
+  std::uint64_t first_crash_us;
+  std::uint64_t second_crash_us;
+  std::uint64_t window_us;
+};
+
+Scale ScaleFor(bool smoke) {
+  if (smoke) {
+    return {6'000'000, 2'000'000, 4'000'000, 500'000};
+  }
+  return {12'000'000, 4'000'000, 8'000'000, 1'000'000};
+}
+
+std::vector<double> MeasureTimeline(const Scale& scale, std::uint32_t replicas,
+                                    bool inject_failures) {
   FtEunomiaService::Options options;
   options.num_partitions = kPartitions;
   options.num_replicas = replicas;
   options.stable_period_us = 500;
 
   const std::uint64_t start = bench::NowMicros();
-  TimeSeries timeline(kWindowUs);
+  TimeSeries timeline(scale.window_us);
   std::mutex mu;
   options.sink = [&](const std::vector<OpRecord>& ops) {
     std::lock_guard<std::mutex> lock(mu);
@@ -53,12 +68,12 @@ std::vector<double> MeasureTimeline(std::uint32_t replicas, bool inject_failures
 
   std::thread crasher;
   if (inject_failures) {
-    crasher = std::thread([&service, start, replicas] {
-      while (bench::NowMicros() - start < kFirstCrashUs) {
+    crasher = std::thread([&service, &scale, start, replicas] {
+      while (bench::NowMicros() - start < scale.first_crash_us) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }
       service.CrashReplica(0);  // kill the leader
-      while (bench::NowMicros() - start < kSecondCrashUs) {
+      while (bench::NowMicros() - start < scale.second_crash_us) {
         std::this_thread::sleep_for(std::chrono::milliseconds(5));
       }
       if (replicas > 1) {
@@ -69,7 +84,7 @@ std::vector<double> MeasureTimeline(std::uint32_t replicas, bool inject_failures
 
   bench::ProducerOptions load;
   load.num_partitions = kPartitions;
-  load.duration_us = kDurationUs;
+  load.duration_us = scale.duration_us;
   load.ops_per_batch = 20;
   bench::DriveProducers(service, load);
   if (crasher.joinable()) {
@@ -79,17 +94,56 @@ std::vector<double> MeasureTimeline(std::uint32_t replicas, bool inject_failures
 
   std::lock_guard<std::mutex> lock(mu);
   auto rates = timeline.Rates();
-  rates.resize(kDurationUs / kWindowUs, 0.0);
+  rates.resize(scale.duration_us / scale.window_us, 0.0);
   return rates;
 }
 
-void Run() {
+void WriteBenchJson(const char* path, bool smoke, const Scale& scale,
+                    double baseline_avg,
+                    const std::vector<std::vector<double>>& runs) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::printf("WARNING: could not write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"figure\": \"fig4_failures\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"series\": [\n");
+  const std::size_t windows = scale.duration_us / scale.window_us;
+  std::size_t emitted = 0;
+  const std::size_t total = runs.size() * windows;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const std::string system = std::to_string(r + 1) + "-FT";
+    for (std::size_t w = 0; w < windows; ++w) {
+      const double rate = w < runs[r].size() ? runs[r][w] : 0.0;
+      const double t_s = static_cast<double>(w * scale.window_us) / 1e6;
+      const double norm = baseline_avg > 0.0 ? rate / baseline_avg : 0.0;
+      ++emitted;
+      std::fprintf(f,
+                   "    {\"system\": \"%s\", \"workload\": \"t=%.1fs\", "
+                   "\"transport\": \"native\", \"ops_per_s\": %.1f, "
+                   "\"normalized\": %.3f}%s\n",
+                   system.c_str(), t_s, rate, norm,
+                   emitted < total ? "," : "");
+    }
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu series points)\n", path, total);
+}
+
+void Run(bool smoke) {
+  const Scale scale = ScaleFor(smoke);
   harness::PrintBanner(
       "Figure 4: impact of replica failures on Eunomia throughput",
-      "leader crashed at t=4s, next leader at t=8s; values normalized to "
-      "the failure-free 3-replica run");
+      smoke ? "smoke: leader crashed at t=2s, next leader at t=4s; values "
+              "normalized to the failure-free 3-replica run"
+            : "leader crashed at t=4s, next leader at t=8s; values "
+              "normalized to the failure-free 3-replica run");
 
-  const auto baseline = MeasureTimeline(3, /*inject_failures=*/false);
+  const auto baseline =
+      MeasureTimeline(scale, 3, /*inject_failures=*/false);
   double baseline_avg = 0.0;
   for (const double r : baseline) {
     baseline_avg += r;
@@ -98,18 +152,20 @@ void Run() {
 
   std::vector<std::vector<double>> runs;
   for (const std::uint32_t replicas : {1u, 2u, 3u}) {
-    runs.push_back(MeasureTimeline(replicas, /*inject_failures=*/true));
+    runs.push_back(MeasureTimeline(scale, replicas, /*inject_failures=*/true));
   }
 
+  const double window_s = static_cast<double>(scale.window_us) / 1e6;
   Table table({"t (s)", "1-FT", "2-FT", "3-FT", "event"});
-  for (std::size_t w = 0; w < kDurationUs / kWindowUs; ++w) {
+  for (std::size_t w = 0; w < scale.duration_us / scale.window_us; ++w) {
     std::string event;
-    if (w == kFirstCrashUs / kWindowUs) {
+    if (w == scale.first_crash_us / scale.window_us) {
       event = "<- crash replica 0 (leader)";
-    } else if (w == kSecondCrashUs / kWindowUs) {
+    } else if (w == scale.second_crash_us / scale.window_us) {
       event = "<- crash replica 1";
     }
-    std::vector<std::string> row = {Table::Num(static_cast<double>(w), 0)};
+    std::vector<std::string> row = {
+        Table::Num(static_cast<double>(w) * window_s, 1)};
     for (const auto& run : runs) {
       const double norm = w < run.size() ? run[w] / baseline_avg : 0.0;
       row.push_back(Table::Num(norm, 2));
@@ -122,17 +178,17 @@ void Run() {
       "\npaper reference: 1-FT drops to zero at the first crash; 2-FT "
       "survives it (~95%% of non-FT) and dies at the second;\n3-FT survives "
       "both and recovers to full throughput within seconds.\n");
+  WriteBenchJson("BENCH_fig4.json", smoke, scale, baseline_avg, runs);
 }
 
 }  // namespace
 }  // namespace eunomia
 
 int main(int argc, char** argv) {
-  // No flags yet; the shared parser still rejects typos loudly.
-  eunomia::bench::Flags flags(argc, argv, {});
+  eunomia::bench::Flags flags(argc, argv, {"smoke"});
   if (!flags.ok()) {
     return flags.FailUsage();
   }
-  eunomia::Run();
+  eunomia::Run(flags.smoke());
   return 0;
 }

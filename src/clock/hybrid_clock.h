@@ -99,6 +99,14 @@ class PartitionedHybridClock {
     return max_ts_;
   }
 
+  // Observes a timestamp this partition issued in a previous incarnation
+  // (crash-recovery replay of the local install log): later updates must
+  // strictly exceed every restored one even if the fresh physical clock
+  // reads behind the old incarnation's. `scaled_ts` is already in the
+  // stride-scaled domain and congruent to this partition's residue, so the
+  // max preserves the congruence invariant.
+  void Observe(Timestamp scaled_ts) { max_ts_ = std::max(max_ts_, scaled_ts); }
+
   Timestamp max_ts() const { return max_ts_; }
   std::uint32_t stride() const { return stride_; }
 

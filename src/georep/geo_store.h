@@ -50,7 +50,12 @@ class GeoStore {
     }
   }
 
- private:
+  // Public so convergence checkers (the chaos harness's oracle) can fold
+  // the same arbitration over an update log. The relation is a strict total
+  // order on distinct versions — dominance implies a strictly larger
+  // component sum, so the winner of a set of writes is independent of the
+  // order they are folded in; that order-independence is exactly what makes
+  // per-key convergence well-defined.
   static bool Supersedes(const VectorTimestamp& vts, DatacenterId origin,
                          const GeoVersion& cur) {
     if (vts.Dominates(cur.vts)) {

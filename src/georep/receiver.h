@@ -89,6 +89,12 @@ class Receiver {
   }
   std::uint64_t applied_count() const { return applied_; }
   std::uint64_t duplicate_count() const { return duplicates_; }
+  // Last stable-frontier beacon accepted from datacenter d (scalar mode).
+  // Monotone by construction: OnFrontier ignores regressions, which is what
+  // makes a restarted origin's low re-announced frontier harmless.
+  Timestamp frontier_of(DatacenterId d) const {
+    return d < num_dcs_ ? frontier_[d] : 0;
+  }
 
  private:
   bool DepsSatisfied(const RemoteUpdate& u) const {
@@ -99,15 +105,25 @@ class Receiver {
       if (scalar_mode_) {
         // All of d's updates with ts <= u.vts[d] must be applied: the beacon
         // says they were shipped; the queue/in-flight state says whether we
-        // finished applying them.
+        // finished applying them. Equal timestamps across origins are
+        // causally concurrent (a real dependency's timestamp was observed
+        // strictly before the dependent update was stamped), so ties are
+        // serialized by datacenter id — without the tie-break, two queue
+        // heads carrying the same timestamp block each other forever.
         if (frontier_[d] < u.vts[d]) {
           return false;
         }
-        if (in_flight_[d] && in_flight_ts_[d] <= u.vts[d]) {
+        if (in_flight_[d] &&
+            (in_flight_ts_[d] < u.vts[d] ||
+             (in_flight_ts_[d] == u.vts[d] && d < u.origin))) {
           return false;
         }
-        if (!queues_[d].empty() && queues_[d].front().vts[d] <= u.vts[d]) {
-          return false;
+        if (!queues_[d].empty()) {
+          const Timestamp head_ts = queues_[d].front().vts[d];
+          if (head_ts < u.vts[d] ||
+              (head_ts == u.vts[d] && d < u.origin)) {
+            return false;
+          }
         }
       } else if (site_time_[d] < u.vts[d]) {
         return false;

@@ -1,0 +1,219 @@
+#include "src/georep/runtime/chaos/faulty_env.h"
+
+#include <utility>
+
+namespace eunomia::geo::rt::chaos {
+
+FaultyGeoEnvironment::FaultyGeoEnvironment(sim::Simulator* sim,
+                                           const GeoConfig& config,
+                                           const FaultProfile& profile,
+                                           std::uint64_t seed)
+    : SimGeoEnvironment(sim, config),
+      profile_(profile),
+      rng_(seed),
+      epoch_(config.num_dcs, 0),
+      install_log_(config.num_dcs),
+      payload_history_(static_cast<std::size_t>(config.num_dcs) *
+                       config.num_dcs),
+      meta_history_(static_cast<std::size_t>(config.num_dcs) *
+                    config.num_dcs) {}
+
+std::function<void()> FaultyGeoEnvironment::Gate(DatacenterId dc,
+                                                 std::function<void()> fn) {
+  return [this, dc, snapshot = epoch_[dc], fn = std::move(fn)] {
+    if (epoch_[dc] == snapshot && runtimes_[dc] != nullptr) {
+      fn();
+    }
+  };
+}
+
+void FaultyGeoEnvironment::CrashDatacenter(DatacenterId dc) {
+  ++epoch_[dc];
+  RegisterRuntime(dc, nullptr);
+  ++stats_.crashes;
+}
+
+void FaultyGeoEnvironment::RestartDatacenter(DatacenterId dc,
+                                             DatacenterRuntime* runtime) {
+  RegisterRuntime(dc, runtime);
+  // (1) Own installs, in original (per-partition timestamp) order: restores
+  // the store, re-primes hybrid clocks, and re-enqueues every op for
+  // stabilization + re-shipping (peers dedup the already-applied suffix).
+  for (const InstallRecord& rec : install_log_[dc]) {
+    runtime->RestoreLocalUpdate(rec.partition, rec.payload);
+  }
+  // (2) Inbound payloads, then (3) inbound ordered metadata, per origin in
+  // channel FIFO order — the receiver re-applies everything from scratch.
+  // Messages still in flight toward this datacenter are deliberately NOT
+  // cancelled: the replay already covers them, so their late arrival is a
+  // duplicate suffix exercising the dedup paths.
+  for (DatacenterId origin = 0; origin < config_.num_dcs; ++origin) {
+    if (origin == dc) {
+      continue;
+    }
+    for (const InstallRecord& rec : payload_history_[Idx(origin, dc)]) {
+      runtime->OnPayload(rec.partition, rec.payload);
+    }
+  }
+  for (DatacenterId origin = 0; origin < config_.num_dcs; ++origin) {
+    if (origin == dc) {
+      continue;
+    }
+    for (const std::vector<RemoteUpdate>& batch :
+         meta_history_[Idx(origin, dc)]) {
+      runtime->OnRemoteMetadata(batch);
+    }
+  }
+  ++stats_.restarts;
+}
+
+void FaultyGeoEnvironment::SetWanDelay(DatacenterId from, DatacenterId to,
+                                       std::uint64_t extra_us) {
+  network_.SetExtraDelay(dcs_[from].eunomia_endpoint,
+                         dcs_[to].receiver_endpoint, extra_us);
+  for (PartitionId p = 0; p < config_.partitions_per_dc; ++p) {
+    network_.SetExtraDelay(dcs_[from].partition_endpoints[p],
+                           dcs_[to].partition_endpoints[p], extra_us);
+  }
+}
+
+void FaultyGeoEnvironment::ScheduleAfter(DatacenterId dc,
+                                         std::uint64_t delay_us,
+                                         std::function<void()> fn) {
+  SimGeoEnvironment::ScheduleAfter(dc, delay_us, Gate(dc, std::move(fn)));
+}
+
+void FaultyGeoEnvironment::ClientHop(DatacenterId dc,
+                                     std::function<void()> fn) {
+  SimGeoEnvironment::ClientHop(dc, Gate(dc, std::move(fn)));
+}
+
+void FaultyGeoEnvironment::RunOnPartition(DatacenterId dc,
+                                          PartitionId partition,
+                                          std::uint64_t cost_us, bool priority,
+                                          std::function<void()> fn) {
+  SimGeoEnvironment::RunOnPartition(dc, partition, cost_us, priority,
+                                    Gate(dc, std::move(fn)));
+}
+
+void FaultyGeoEnvironment::SendApply(DatacenterId dc, PartitionId partition,
+                                     std::function<void()> fn) {
+  SimGeoEnvironment::SendApply(dc, partition, Gate(dc, std::move(fn)));
+}
+
+// Intra-DC FIFO links, re-implemented from the base class with epoch gating
+// at both the network-delivery and server-completion hops. The gating is
+// what kills the restart race: a heartbeat or batch from the pre-crash
+// incarnation carries timestamps AHEAD of the restored batcher's replayed
+// ops, and if it reached the fresh EunomiaCore first the replayed ops would
+// be discarded as non-monotone — silently losing acknowledged updates. A
+// rebooting node's intra-process queues do not survive reboot; neither do
+// these.
+void FaultyGeoEnvironment::SendMetadataBatch(DatacenterId dc,
+                                             PartitionId partition,
+                                             std::vector<OpRecord> batch) {
+  network_.Send(dcs_[dc].partition_endpoints[partition],
+                dcs_[dc].eunomia_endpoint,
+                Gate(dc, [this, dc, batch = std::move(batch)] {
+                  const std::uint64_t cost =
+                      config_.costs.eunomia_op_us * batch.size() + 1;
+                  dcs_[dc].eunomia_server->Submit(
+                      cost, Gate(dc, [this, dc, batch] {
+                        runtimes_[dc]->OnMetadataBatch(batch);
+                      }));
+                }));
+}
+
+void FaultyGeoEnvironment::SendHeartbeat(DatacenterId dc, PartitionId partition,
+                                         Timestamp ts) {
+  network_.Send(dcs_[dc].partition_endpoints[partition],
+                dcs_[dc].eunomia_endpoint,
+                Gate(dc, [this, dc, partition, ts] {
+                  dcs_[dc].eunomia_server->Submit(
+                      1, Gate(dc, [this, dc, partition, ts] {
+                        runtimes_[dc]->OnHeartbeat(partition, ts);
+                      }));
+                }));
+}
+
+void FaultyGeoEnvironment::SendRemoteMetadata(DatacenterId from,
+                                              DatacenterId to,
+                                              std::vector<RemoteUpdate> batch) {
+  if (profile_.plant == Plant::kDropMetadata &&
+      rng_.NextBool(profile_.plant_probability)) {
+    // Bug: the batch vanishes. Not recorded in the history either — a lost
+    // send is lost from every future replay too.
+    ++stats_.plants_fired;
+    return;
+  }
+  if (profile_.plant == Plant::kReorderMetadata &&
+      rng_.NextBool(profile_.plant_probability)) {
+    // Bug: bypass the FIFO channel with a direct low-latency delivery, so
+    // this batch can overtake earlier ones still in flight.
+    ++stats_.plants_fired;
+    meta_history_[Idx(from, to)].push_back(batch);
+    const std::uint64_t delay = 1 + rng_.NextBounded(5'000);
+    sim_->ScheduleAfter(delay, [this, to, batch = std::move(batch)] {
+      if (runtimes_[to] != nullptr) {
+        runtimes_[to]->OnRemoteMetadata(batch);
+      }
+    });
+    return;
+  }
+  meta_history_[Idx(from, to)].push_back(batch);
+  const bool duplicate = rng_.NextBool(profile_.metadata_dup);
+  SimGeoEnvironment::SendRemoteMetadata(from, to, batch);
+  if (duplicate) {
+    // Adjacent duplicate on the same FIFO channel: order preserved, the
+    // receiver's SiteTime dedup must absorb the repeat.
+    ++stats_.metadata_duplicated;
+    SimGeoEnvironment::SendRemoteMetadata(from, to, std::move(batch));
+  }
+}
+
+void FaultyGeoEnvironment::SendPayload(DatacenterId from, DatacenterId to,
+                                       PartitionId partition,
+                                       RemotePayload payload) {
+  // First sight of a uid = the origin's durable install record (the fan-out
+  // in ExecuteUpdate is synchronous with the store write, so this log is
+  // complete and in per-partition timestamp order).
+  if (logged_uids_.insert(payload.uid).second) {
+    install_log_[from].push_back({partition, payload});
+  }
+  if (profile_.plant == Plant::kDropPayload &&
+      rng_.NextBool(profile_.plant_probability)) {
+    // Bug: payload never shipped and never re-shipped (kept out of the
+    // channel history so a restart replay cannot resurrect it).
+    ++stats_.plants_fired;
+    return;
+  }
+  payload_history_[Idx(from, to)].push_back({partition, payload});
+  if (rng_.NextBool(profile_.payload_drop)) {
+    // Benign loss on the unordered channel: at-least-once re-ship later.
+    ++stats_.payloads_dropped;
+    const std::uint64_t delay =
+        profile_.reship_delay_us + rng_.NextBounded(profile_.reship_delay_us + 1);
+    sim_->ScheduleAfter(delay, [this, from, to, partition, payload] {
+      SimGeoEnvironment::SendPayload(from, to, partition, payload);
+    });
+    return;
+  }
+  if (rng_.NextBool(profile_.payload_delay)) {
+    ++stats_.payloads_delayed;
+    const std::uint64_t delay = 1 + rng_.NextBounded(profile_.payload_delay_max_us);
+    sim_->ScheduleAfter(delay, [this, from, to, partition, payload] {
+      SimGeoEnvironment::SendPayload(from, to, partition, payload);
+    });
+  } else {
+    SimGeoEnvironment::SendPayload(from, to, partition, payload);
+  }
+  if (rng_.NextBool(profile_.payload_dup)) {
+    ++stats_.payloads_duplicated;
+    const std::uint64_t delay = 1 + rng_.NextBounded(profile_.payload_delay_max_us);
+    sim_->ScheduleAfter(delay, [this, from, to, partition, payload] {
+      SimGeoEnvironment::SendPayload(from, to, partition, payload);
+    });
+  }
+}
+
+}  // namespace eunomia::geo::rt::chaos

@@ -50,6 +50,27 @@ void DatacenterRuntime::SetPartitionCommInterval(PartitionId partition,
   partitions_[partition].comm_interval_us = interval_us == 0 ? 1 : interval_us;
 }
 
+void DatacenterRuntime::SetPartitionClock(PartitionId partition,
+                                          const PhysicalClock& clock) {
+  assert(partition < partitions_.size());
+  partitions_[partition].clock = clock;
+}
+
+void DatacenterRuntime::RestoreLocalUpdate(PartitionId partition,
+                                           const RemotePayload& update) {
+  assert(partition < partitions_.size());
+  assert(update.origin == id_);
+  Partition& part = partitions_[partition];
+  part.store.Put(update.key, update.value, update.vts, update.origin);
+  // Future timestamps must strictly exceed every restored one, or the
+  // batcher's monotonicity (Property 2) — and remote dedup — would break.
+  part.hybrid.Observe(update.vts[id_]);
+  part.batcher.Add(OpRecord{update.vts[id_], partition, update.key, update.uid});
+  registry_[update.uid] = RemoteUpdate{update.uid, update.key, update.vts, id_,
+                                       partition};
+  ++updates_installed_;
+}
+
 void DatacenterRuntime::SchedulePartitionFlush(PartitionId p) {
   const std::uint64_t interval = partitions_[p].comm_interval_us;
   env_->ScheduleAfter(id_, interval, [this, p] {
@@ -159,6 +180,12 @@ void DatacenterRuntime::ScheduleReceiverCheck() {
 
 void DatacenterRuntime::ClientRead(ClientId client, Key key,
                                    std::function<void()> done) {
+  ClientReadValue(client, key,
+                  [done = std::move(done)](const GeoVersion&) { done(); });
+}
+
+void DatacenterRuntime::ClientReadValue(
+    ClientId client, Key key, std::function<void(const GeoVersion&)> done) {
   const std::uint64_t issued_at = env_->Now();
   const PartitionId p = router_.Responsible(key);
   Partition& part = partitions_[p];
@@ -169,17 +196,19 @@ void DatacenterRuntime::ClientRead(ClientId client, Key key,
     env_->RunOnPartition(id_, part.id, cost, /*priority=*/false,
                          [this, &part, client, key, done, issued_at] {
       const GeoVersion* version = part.store.Get(key);
-      VectorTimestamp vts = version != nullptr
-                                ? version->vts
-                                : VectorTimestamp(config_.num_dcs);
-      env_->ClientHop(id_, [this, client, vts = std::move(vts), done,
+      GeoVersion observed = version != nullptr
+                                ? *version
+                                : GeoVersion{Value{},
+                                             VectorTimestamp(config_.num_dcs),
+                                             0};
+      env_->ClientHop(id_, [this, client, observed = std::move(observed), done,
                             issued_at] {
         auto [it, inserted] =
             sessions_->try_emplace(client, VectorTimestamp(config_.num_dcs));
-        it->second.MergeMax(vts);  // Alg. 1 line 4, vector form
+        it->second.MergeMax(observed.vts);  // Alg. 1 line 4, vector form
         tracker_->OnOpComplete(id_, /*is_update=*/false, env_->Now(),
                                env_->Now() - issued_at);
-        done();
+        done(observed);
       });
     });
   });
@@ -267,6 +296,19 @@ void DatacenterRuntime::ExecuteUpdate(Partition& part, ClientId client,
 }
 
 void DatacenterRuntime::OnPayload(PartitionId p, RemotePayload payload) {
+  // At-least-once payload channels (a faulty network redelivering, or a
+  // crash-recovery re-ship racing the original) can present an update whose
+  // apply already completed. SiteTime only passes u.vts[origin] once u has
+  // been applied here (the receiver advances it strictly in apply order and
+  // per-DC timestamps are unique across partitions), so this copy is
+  // provably stale — drop it before any visibility bookkeeping. On exactly-
+  // once channels the payload precedes its own apply and the test never
+  // fires.
+  if (payload.origin != id_ &&
+      payload.vts[payload.origin] <= receiver_->site_time()[payload.origin]) {
+    ++payload_duplicates_;
+    return;
+  }
   Partition& part = partitions_[p];
   // Per-datacenter trackers (real binding) never saw the origin's install:
   // materialize the origin attribution here. A no-op on the sim binding's
@@ -317,6 +359,22 @@ void DatacenterRuntime::ExecuteRemote(Partition& part, std::uint64_t uid,
 const GeoStore& DatacenterRuntime::StoreAt(PartitionId partition) const {
   assert(partition < partitions_.size());
   return partitions_[partition].store;
+}
+
+std::size_t DatacenterRuntime::BufferedPayloads() const {
+  std::size_t n = 0;
+  for (const Partition& part : partitions_) {
+    n += part.payloads.size();
+  }
+  return n;
+}
+
+std::size_t DatacenterRuntime::PendingApplyCount() const {
+  std::size_t n = 0;
+  for (const Partition& part : partitions_) {
+    n += part.pending_applies.size();
+  }
+  return n;
 }
 
 const VectorTimestamp* DatacenterRuntime::SessionOf(ClientId client) const {

@@ -64,8 +64,28 @@ class DatacenterRuntime {
 
   // --- client entry points ---------------------------------------------------
   void ClientRead(ClientId client, Key key, std::function<void()> done);
+  // Read that hands the observed version (a copy taken at the partition, so
+  // the caller may inspect it after the fact) to the completion callback.
+  // A missing key yields an empty value with an all-zero vector timestamp.
+  // ClientRead forwards here; the chaos harness uses the value to check
+  // session read-your-writes.
+  void ClientReadValue(ClientId client, Key key,
+                       std::function<void(const GeoVersion&)> done);
   void ClientUpdate(ClientId client, Key key, Value value,
                     std::function<void()> done);
+
+  // --- crash-recovery bootstrap ----------------------------------------------
+  // Re-installs an update this datacenter originated in a previous
+  // incarnation (replayed from a durable log — in the chaos harness, the
+  // environment's observed payload fan-out stands in for the WAL). Restores
+  // the store version, re-primes the partition's hybrid clock so future
+  // timestamps stay strictly ahead of the old incarnation's, and re-enqueues
+  // the op for Eunomia stabilization + remote shipping (remote receivers
+  // dedup any suffix they already applied). Must be called in timestamp
+  // order per partition, before StartTimers, and does NOT re-fan-out the
+  // payload — the restarting harness replays inbound/outbound channels
+  // itself.
+  void RestoreLocalUpdate(PartitionId partition, const RemotePayload& update);
 
   // --- message ingress (invoked by the binding on delivery) ------------------
   // At the Eunomia node: one partition's timestamp-ordered metadata batch /
@@ -83,6 +103,10 @@ class DatacenterRuntime {
   // communication interval for one partition.
   void SetPartitionCommInterval(PartitionId partition,
                                 std::uint64_t interval_us);
+  // Clock-skew injection: replaces one partition's physical clock (offset /
+  // drift) mid-run. The hybrid clock's monotonicity absorbs any backward
+  // step — that resilience is exactly what the chaos schedules probe.
+  void SetPartitionClock(PartitionId partition, const PhysicalClock& clock);
 
   // --- introspection ---------------------------------------------------------
   const GeoStore& StoreAt(PartitionId partition) const;
@@ -91,6 +115,14 @@ class DatacenterRuntime {
   const VectorTimestamp* SessionOf(ClientId client) const;
   std::uint64_t updates_installed() const { return updates_installed_; }
   const GeoConfig& config() const { return config_; }
+  // Payloads buffered ahead of their metadata go-ahead, and go-aheads parked
+  // waiting for a payload — both must drain to zero once the world quiesces.
+  std::size_t BufferedPayloads() const;
+  std::size_t PendingApplyCount() const;
+  // Payload copies dropped because the update was already applied (an
+  // at-least-once payload channel redelivered, or a crash-recovery re-ship
+  // overlapped the original).
+  std::uint64_t payload_duplicates() const { return payload_duplicates_; }
 
  private:
   struct Partition {
@@ -136,6 +168,7 @@ class DatacenterRuntime {
   // Eunomia stabilizes and ships it.
   std::unordered_map<std::uint64_t, RemoteUpdate> registry_;
   std::uint64_t updates_installed_ = 0;
+  std::uint64_t payload_duplicates_ = 0;
   std::vector<OpRecord> stable_scratch_;
 };
 

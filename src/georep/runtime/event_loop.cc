@@ -4,7 +4,19 @@
 
 namespace eunomia::geo::rt {
 
-EventLoop::EventLoop() : epoch_(std::chrono::steady_clock::now()) {}
+namespace {
+
+// One epoch for the whole process: every EventLoop reads the same monotonic
+// timeline, so timestamps survive an owner's crash/restart (see Now()).
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() : epoch_(ProcessEpoch()) {}
 
 EventLoop::~EventLoop() { Stop(); }
 

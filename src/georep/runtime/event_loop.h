@@ -35,7 +35,11 @@ class EventLoop {
   void Start();
   void Stop();
 
-  // Monotonic microseconds since construction.
+  // Monotonic microseconds since a process-wide epoch shared by every
+  // EventLoop. Sharing matters for crash/restart: a node restarted on a
+  // fresh loop must keep issuing hybrid-clock timestamps strictly ahead of
+  // its previous incarnation's, or peers' duplicate suppression would drop
+  // its post-restart updates.
   std::uint64_t Now() const;
 
   // Runs fn on the loop thread no earlier than delay_us from now. Safe from

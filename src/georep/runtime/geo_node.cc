@@ -1,6 +1,8 @@
 #include "src/georep/runtime/geo_node.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "src/clock/physical_clock.h"
@@ -50,16 +52,38 @@ bool GeoNode::ConnectPeer(DatacenterId peer, const std::string& address) {
   if (peer >= peers_.size() || peer == options_.dc || started_.load()) {
     return false;
   }
+  peers_[peer].address = address;
+  const std::uint32_t attempts = std::max<std::uint32_t>(
+      1, options_.connect_attempts);
+  std::uint32_t backoff_ms = options_.connect_backoff_ms;
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.reconnect_backoff_max_ms);
+    }
+    if (DialLinks(peer)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GeoNode::DialLinks(DatacenterId peer) {
+  Peer& entry = peers_[peer];
   auto dial = [&](std::uint32_t link_kind) -> std::shared_ptr<net::Connection> {
     auto connection = transport_->Dial(
-        address,
+        entry.address,
         net::ConnectionHandler{
             // Peer links are one-directional: nothing flows back.
             [this](net::Connection& c, nw::Frame&&) {
               wire_errors_.fetch_add(1, std::memory_order_relaxed);
               c.Close();
             },
-            [](net::Connection&, nw::WireError) {}});
+            // Either link dropping (peer death, partition) fails both over
+            // to the re-dial loop; MarkLinkDown dedups the two posts.
+            [this, peer](net::Connection&, nw::WireError) {
+              loop_.Post([this, peer] { MarkLinkDown(peer); });
+            }});
     if (connection == nullptr) {
       return nullptr;
     }
@@ -75,10 +99,73 @@ bool GeoNode::ConnectPeer(DatacenterId peer, const std::string& address) {
     }
     return connection;
   };
+  auto metadata = dial(gw::kMetadataLink);
+  if (metadata == nullptr) {
+    return false;
+  }
+  auto payloads = dial(gw::kPayloadLink);
+  if (payloads == nullptr) {
+    metadata->Close();
+    return false;
+  }
+  entry.metadata = std::move(metadata);
+  entry.payloads = std::move(payloads);
+  return true;
+}
+
+void GeoNode::MarkLinkDown(DatacenterId peer) {
+  // Before Start, ConnectPeer owns retries; after Stop, nothing may redial.
+  if (!started_.load() || stopped_.load()) {
+    return;
+  }
   Peer& entry = peers_[peer];
-  entry.metadata = dial(gw::kMetadataLink);
-  entry.payloads = dial(gw::kPayloadLink);
-  return entry.metadata != nullptr && entry.payloads != nullptr;
+  if (entry.down || entry.address.empty()) {
+    return;
+  }
+  entry.down = true;
+  if (entry.metadata != nullptr) {
+    entry.metadata->Close();
+  }
+  if (entry.payloads != nullptr) {
+    entry.payloads->Close();
+  }
+  entry.metadata.reset();
+  entry.payloads.reset();
+  entry.backoff_ms = std::max<std::uint32_t>(1, options_.reconnect_backoff_ms);
+  loop_.ScheduleAfter(static_cast<std::uint64_t>(entry.backoff_ms) * 1000,
+                      [this, peer] { TryReconnect(peer); });
+}
+
+void GeoNode::TryReconnect(DatacenterId peer) {
+  if (stopped_.load()) {
+    return;
+  }
+  Peer& entry = peers_[peer];
+  if (!entry.down) {
+    return;
+  }
+  // The dial runs on the loop thread: to a local/refusing endpoint it
+  // resolves in microseconds, and serializing it here keeps all link state
+  // single-threaded.
+  if (!DialLinks(peer)) {
+    entry.backoff_ms =
+        std::min(entry.backoff_ms * 2, options_.reconnect_backoff_max_ms);
+    loop_.ScheduleAfter(static_cast<std::uint64_t>(entry.backoff_ms) * 1000,
+                        [this, peer] { TryReconnect(peer); });
+    return;
+  }
+  entry.down = false;
+  reconnects_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.retain_peer_history) {
+    // Catch-up: replay everything ever sent, in order. The peer may have
+    // restarted with total state loss; whatever it did keep arrives as
+    // duplicates and its uid/timestamp dedup absorbs them.
+    for (const Peer::Sent& sent : entry.history) {
+      SendOnLink(sent.type == nw::MsgType::kGeoPayload ? entry.payloads
+                                                       : entry.metadata,
+                 sent.type, sent.frame);
+    }
+  }
 }
 
 void GeoNode::Start() {
@@ -167,37 +254,56 @@ void GeoNode::SendOnLink(const std::shared_ptr<net::Connection>& link,
   }
 }
 
+void GeoNode::SendToPeer(DatacenterId to, nw::MsgType type,
+                         std::string frame) {
+  Peer& entry = peers_[to];
+  if (options_.retain_peer_history) {
+    entry.history.push_back({type, frame});
+  }
+  if (type == nw::MsgType::kGeoPayload && entry.paused) {
+    entry.parked.push_back(std::move(frame));
+    return;
+  }
+  if (entry.down) {
+    // Lost for now: with history retention the reconnect replay re-ships
+    // it; without, this is the same loss a dead TCP send would be.
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::shared_ptr<net::Connection>& link =
+      type == nw::MsgType::kGeoPayload ? entry.payloads : entry.metadata;
+  if (link == nullptr || !link->SendFrame(type, frame)) {
+    send_failures_.fetch_add(1, std::memory_order_relaxed);
+    // A local send failure is as authoritative as a reader-side close (the
+    // usual death signal): fail the pair over to the re-dial loop.
+    MarkLinkDown(to);
+  }
+}
+
 void GeoNode::SendRemoteMetadata(DatacenterId, DatacenterId to,
                                  std::vector<RemoteUpdate> batch) {
-  const Peer& peer = peers_[to];
   // Chunked onto one FIFO connection: the shipping order — which the
   // remote receiver's Algorithm 5 queues rely on — is preserved.
   const std::size_t max_per_frame =
       gw::MaxGeoUpdatesPerFrame(options_.config.num_dcs);
   for (std::size_t i = 0; i < batch.size(); i += max_per_frame) {
     const std::size_t n = std::min(max_per_frame, batch.size() - i);
-    SendOnLink(peer.metadata, nw::MsgType::kGeoMetaBatch,
+    SendToPeer(to, nw::MsgType::kGeoMetaBatch,
                gw::EncodeGeoMetaBatch(options_.dc, batch.data() + i, n));
   }
 }
 
 void GeoNode::SendFrontier(DatacenterId, DatacenterId to, Timestamp frontier) {
-  SendOnLink(peers_[to].metadata, nw::MsgType::kGeoFrontier,
+  SendToPeer(to, nw::MsgType::kGeoFrontier,
              gw::EncodeGeoFrontier({options_.dc, frontier}));
 }
 
 void GeoNode::SendPayload(DatacenterId, DatacenterId to, PartitionId partition,
                           RemotePayload payload) {
-  Peer& peer = peers_[to];
   gw::GeoPayloadMsg msg;
   msg.partition = partition;
   msg.payload = std::move(payload);
-  std::string frame = gw::EncodeGeoPayload(msg);
-  if (peer.paused) {
-    peer.parked.push_back(std::move(frame));
-    return;
-  }
-  SendOnLink(peer.payloads, nw::MsgType::kGeoPayload, frame);
+  SendToPeer(to, nw::MsgType::kGeoPayload, gw::EncodeGeoPayload(msg));
 }
 
 void GeoNode::SendApply(DatacenterId, PartitionId, std::function<void()> fn) {

@@ -52,6 +52,23 @@ class GeoNode final : private Environment {
     GeoConfig config;
     // Forwarded to the node's VisibilityTracker.
     bool detailed_visibility = false;
+    // ConnectPeer dials up to this many times, doubling the pause between
+    // attempts from connect_backoff_ms — a peer that boots slightly later
+    // (or is restarting) is not a permanent failure.
+    std::uint32_t connect_attempts = 5;
+    std::uint32_t connect_backoff_ms = 50;
+    // After a live link drops, re-dials start at reconnect_backoff_ms and
+    // double up to reconnect_backoff_max_ms, forever (a dead peer may come
+    // back at any time; Stop cancels the retry loop).
+    std::uint32_t reconnect_backoff_ms = 50;
+    std::uint32_t reconnect_backoff_max_ms = 1000;
+    // Retain every frame sent to each peer and replay the full history when
+    // its link is re-established — a WAL-less stand-in for durable
+    // retransmission that lets a peer restarted with total state loss catch
+    // up. Whatever the peer did keep arrives as duplicates and is absorbed
+    // by uid/timestamp dedup on its receive path. Off by default: history
+    // grows without bound.
+    bool retain_peer_history = false;
   };
 
   // The transport becomes dedicated to this node; Stop() shuts it down.
@@ -65,7 +82,10 @@ class GeoNode final : private Environment {
   // failure).
   std::string Listen(const std::string& address);
 
-  // Dials the metadata + payload links to `peer`. False on any failure.
+  // Dials the metadata + payload links to `peer`, retrying up to
+  // Options::connect_attempts times with doubling backoff. False once every
+  // attempt failed. The address is remembered: if a live link later drops,
+  // the node re-dials it in the background with capped backoff.
   bool ConnectPeer(DatacenterId peer, const std::string& address);
 
   // Starts the event loop and the protocol timers. Call after every peer
@@ -97,6 +117,10 @@ class GeoNode final : private Environment {
   std::uint64_t send_failures() const {
     return send_failures_.load(std::memory_order_relaxed);
   }
+  // Peer links successfully re-established after a mid-run drop.
+  std::uint64_t reconnects() const {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
 
   // Test hook for the causality e2e: while paused, outbound payloads to
   // `peer` are parked (metadata keeps flowing, so the remote receiver
@@ -106,11 +130,20 @@ class GeoNode final : private Environment {
 
  private:
   struct Peer {
+    std::string address;  // as dialed; background reconnects re-dial it
     std::shared_ptr<net::Connection> metadata;
     std::shared_ptr<net::Connection> payloads;
+    bool down = false;  // links lost; a backoff re-dial is scheduled
+    std::uint32_t backoff_ms = 0;
     bool paused = false;
     // Encoded kGeoPayload frames parked while paused.
     std::vector<std::string> parked;
+    struct Sent {
+      net::wire::MsgType type;
+      std::string frame;
+    };
+    // Options::retain_peer_history: everything ever sent, in send order.
+    std::vector<Sent> history;
   };
 
   // Environment implementation (all invoked from the loop thread).
@@ -138,6 +171,15 @@ class GeoNode final : private Environment {
   net::ConnectionHandler MakeInboundHandler();
   void SendOnLink(const std::shared_ptr<net::Connection>& link,
                   net::wire::MsgType type, const std::string& payload);
+  // Live-path send: records history (when retained), parks paused payloads,
+  // and on a send failure marks the peer down. Loop thread only.
+  void SendToPeer(DatacenterId to, net::wire::MsgType type, std::string frame);
+  // Dials both links to peers_[peer].address. Synchronous; false if either
+  // dial or hello failed (nothing is kept half-connected).
+  bool DialLinks(DatacenterId peer);
+  // Drops both links and schedules the backoff re-dial loop. Loop thread.
+  void MarkLinkDown(DatacenterId peer);
+  void TryReconnect(DatacenterId peer);
 
   net::Transport* const transport_;
   const Options options_;
@@ -151,6 +193,7 @@ class GeoNode final : private Environment {
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> wire_errors_{0};
   std::atomic<std::uint64_t> send_failures_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
 };
 
 }  // namespace eunomia::geo::rt

@@ -62,7 +62,11 @@ void SimGeoEnvironment::SendMetadataBatch(DatacenterId dc,
                   const std::uint64_t cost =
                       config_.costs.eunomia_op_us * batch.size() + 1;
                   dcs_[dc].eunomia_server->Submit(cost, [this, dc, batch] {
-                    runtimes_[dc]->OnMetadataBatch(batch);
+                    // Looked up at delivery: a detached (crashed) runtime
+                    // simply loses the message.
+                    if (runtimes_[dc] != nullptr) {
+                      runtimes_[dc]->OnMetadataBatch(batch);
+                    }
                   });
                 });
 }
@@ -72,7 +76,9 @@ void SimGeoEnvironment::SendHeartbeat(DatacenterId dc, PartitionId partition,
   network_.Send(dcs_[dc].partition_endpoints[partition],
                 dcs_[dc].eunomia_endpoint, [this, dc, partition, ts] {
                   dcs_[dc].eunomia_server->Submit(1, [this, dc, partition, ts] {
-                    runtimes_[dc]->OnHeartbeat(partition, ts);
+                    if (runtimes_[dc] != nullptr) {
+                      runtimes_[dc]->OnHeartbeat(partition, ts);
+                    }
                   });
                 });
 }
@@ -88,7 +94,9 @@ void SimGeoEnvironment::SendRemoteMetadata(DatacenterId from, DatacenterId to,
                   dcs_[to].receiver_server->Submit(
                       config_.costs.receiver_op_us * batch.size() + 1,
                       [this, to, batch] {
-                        runtimes_[to]->OnRemoteMetadata(batch);
+                        if (runtimes_[to] != nullptr) {
+                          runtimes_[to]->OnRemoteMetadata(batch);
+                        }
                       });
                 });
 }
@@ -102,7 +110,9 @@ void SimGeoEnvironment::SendFrontier(DatacenterId from, DatacenterId to,
                   // FIFO link is enqueued.
                   dcs_[to].receiver_server->Submit(1, [this, from, to,
                                                        frontier] {
-                    runtimes_[to]->OnFrontier(from, frontier);
+                    if (runtimes_[to] != nullptr) {
+                      runtimes_[to]->OnFrontier(from, frontier);
+                    }
                   });
                 });
 }
@@ -113,7 +123,9 @@ void SimGeoEnvironment::SendPayload(DatacenterId from, DatacenterId to,
   network_.Send(dcs_[from].partition_endpoints[partition],
                 dcs_[to].partition_endpoints[partition],
                 [this, to, partition, payload = std::move(payload)]() mutable {
-                  runtimes_[to]->OnPayload(partition, std::move(payload));
+                  if (runtimes_[to] != nullptr) {
+                    runtimes_[to]->OnPayload(partition, std::move(payload));
+                  }
                 });
 }
 

@@ -23,14 +23,21 @@
 
 namespace eunomia::geo::rt {
 
-class SimGeoEnvironment final : public Environment {
+// Subclassable (not final) so the chaos binding can wrap the send paths
+// with fault injection while reusing the substrate; see runtime/chaos/.
+class SimGeoEnvironment : public Environment {
  public:
   // Builds the simulated deployment substrate (FCFS servers + endpoints for
   // every datacenter in `config`). Runtimes are attached afterwards with
   // RegisterRuntime — the environment and the runtimes reference each other,
   // so construction is two-phase.
   SimGeoEnvironment(sim::Simulator* sim, const GeoConfig& config);
+  ~SimGeoEnvironment() override = default;
 
+  // Attaches (or, with nullptr, detaches) a datacenter's runtime. Delivery
+  // closures look the runtime up at delivery time and drop the message when
+  // it is detached — which is exactly a crashed datacenter losing whatever
+  // was in flight to it.
   void RegisterRuntime(DatacenterId dc, DatacenterRuntime* runtime) {
     assert(dc < runtimes_.size());
     runtimes_[dc] = runtime;
@@ -57,7 +64,7 @@ class SimGeoEnvironment final : public Environment {
   void SendApply(DatacenterId dc, PartitionId partition,
                  std::function<void()> fn) override;
 
- private:
+ protected:
   struct DcSubstrate {
     std::vector<std::unique_ptr<sim::Server>> servers;
     std::vector<sim::EndpointId> partition_endpoints;
