@@ -127,10 +127,15 @@ double SimulateEunomia(std::uint32_t partitions) {
     std::vector<OpRecord> batch;
   };
   std::vector<Producer> producers(partitions);
+  // Each driver's function captures the shared_ptr that owns it (so the
+  // copies the scheduler takes keep it alive); the cycles are broken by
+  // hand after the run.
+  std::vector<std::shared_ptr<std::function<void()>>> drivers;
   for (std::uint32_t p = 0; p < partitions; ++p) {
     producers[p].ep = net.Register(0);
     // Eager generation: one op every kClientGenIntervalUs.
     auto generate = std::make_shared<std::function<void()>>();
+    drivers.push_back(generate);
     *generate = [&, p, generate]() {
       Producer& prod = producers[p];
       prod.batch.push_back(
@@ -141,6 +146,7 @@ double SimulateEunomia(std::uint32_t partitions) {
     sim.ScheduleAfter(p % kClientGenIntervalUs, *generate);
     // 1 ms batch flush toward the service.
     auto flush = std::make_shared<std::function<void()>>();
+    drivers.push_back(flush);
     *flush = [&, p, flush]() {
       Producer& prod = producers[p];
       if (!prod.batch.empty()) {
@@ -170,6 +176,7 @@ double SimulateEunomia(std::uint32_t partitions) {
   // Stabilizer: every 0.5 ms extract the stable prefix.
   std::vector<OpRecord> out;
   auto stabilize = std::make_shared<std::function<void()>>();
+  drivers.push_back(stabilize);
   *stabilize = [&, stabilize]() {
     out.clear();
     const std::size_t emitted = core.ProcessStable(&out);
@@ -183,6 +190,9 @@ double SimulateEunomia(std::uint32_t partitions) {
   sim.ScheduleAfter(500, *stabilize);
 
   sim.RunUntil(kRunUs);
+  for (auto& driver : drivers) {
+    *driver = nullptr;
+  }
   return static_cast<double>(stabilized) / (static_cast<double>(kRunUs) / 1e6);
 }
 
@@ -196,11 +206,13 @@ double SimulateSequencer(std::uint32_t clients) {
   const sim::EndpointId seq_ep = net.Register(0);
   std::uint64_t granted = 0;
 
+  std::vector<std::shared_ptr<std::function<void()>>> issues;
   for (std::uint32_t c = 0; c < clients; ++c) {
     const sim::EndpointId client_ep = net.Register(0);
     // Closed loop: request -> grant -> immediately request again. The
     // synchronous round-trip is the whole point of the comparison.
     auto issue = std::make_shared<std::function<void()>>();
+    issues.push_back(issue);
     *issue = [&, client_ep, issue]() {
       net.Send(client_ep, seq_ep, [&, client_ep, issue] {
         sequencer.Submit(kSeqGrantCost, [&, client_ep, issue] {
@@ -214,6 +226,10 @@ double SimulateSequencer(std::uint32_t clients) {
     sim.ScheduleAfter(c, *issue);
   }
   sim.RunUntil(kRunUs);
+  // Break the closed loops' self-reference cycles.
+  for (auto& issue : issues) {
+    *issue = nullptr;
+  }
   return static_cast<double>(granted) / (static_cast<double>(kRunUs) / 1e6);
 }
 

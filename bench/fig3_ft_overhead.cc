@@ -81,9 +81,13 @@ double SimulateEunomiaFt(std::uint32_t num_replicas) {
     std::vector<OpRecord> batch;
   };
   std::vector<Producer> producers(kPartitions);
+  // Each driver's function captures the shared_ptr that owns it; the
+  // cycles are broken by hand after the run.
+  std::vector<std::shared_ptr<std::function<void()>>> drivers;
   for (std::uint32_t p = 0; p < kPartitions; ++p) {
     producers[p].ep = net.Register(0);
     auto generate = std::make_shared<std::function<void()>>();
+    drivers.push_back(generate);
     *generate = [&, p, generate]() {
       Producer& prod = producers[p];
       prod.batch.push_back(
@@ -94,6 +98,7 @@ double SimulateEunomiaFt(std::uint32_t num_replicas) {
     sim.ScheduleAfter(p % kClientGenIntervalUs, *generate);
 
     auto flush = std::make_shared<std::function<void()>>();
+    drivers.push_back(flush);
     *flush = [&, p, flush]() {
       Producer& prod = producers[p];
       if (!prod.batch.empty()) {
@@ -122,6 +127,7 @@ double SimulateEunomiaFt(std::uint32_t num_replicas) {
   // Leader (replica 0) stabilizes every 0.5 ms and notifies followers.
   std::vector<OpRecord> out;
   auto stabilize = std::make_shared<std::function<void()>>();
+  drivers.push_back(stabilize);
   *stabilize = [&, stabilize]() {
     out.clear();
     const auto result = replicas[0].logic->ProcessStable(&out);
@@ -147,6 +153,9 @@ double SimulateEunomiaFt(std::uint32_t num_replicas) {
   sim.ScheduleAfter(500, *stabilize);
 
   sim.RunUntil(kRunUs);
+  for (auto& driver : drivers) {
+    *driver = nullptr;
+  }
   return static_cast<double>(stabilized) / (static_cast<double>(kRunUs) / 1e6);
 }
 
@@ -166,11 +175,15 @@ double SimulateChainSequencer(std::uint32_t stages) {
   const sim::SimTime stage_cost = stages == 1 ? kSeqGrantCost : kChainStageCost;
   std::uint64_t granted = 0;
 
+  std::vector<std::shared_ptr<std::function<void()>>> issues;
+  std::vector<std::shared_ptr<std::function<void(std::uint32_t)>>> hops;
   for (std::uint32_t c = 0; c < kPartitions; ++c) {
     const sim::EndpointId client_ep = net.Register(0);
     auto issue = std::make_shared<std::function<void()>>();
+    issues.push_back(issue);
     // Forward through the chain stage by stage, reply from the tail.
     auto hop = std::make_shared<std::function<void(std::uint32_t)>>();
+    hops.push_back(hop);
     *hop = [&, client_ep, issue, hop](std::uint32_t stage) {
       chain[stage]->Submit(stage_cost, [&, client_ep, stage, issue, hop] {
         if (stage + 1 < chain.size()) {
@@ -190,6 +203,13 @@ double SimulateChainSequencer(std::uint32_t stages) {
     sim.ScheduleAfter(c, *issue);
   }
   sim.RunUntil(kRunUs);
+  // issue and hop reference each other as well as themselves; clear both.
+  for (auto& issue : issues) {
+    *issue = nullptr;
+  }
+  for (auto& hop : hops) {
+    *hop = nullptr;
+  }
   return static_cast<double>(granted) / (static_cast<double>(kRunUs) / 1e6);
 }
 

@@ -13,9 +13,9 @@
 // leader each time, forcing a takeover. --smoke also emits the same
 // BENCH_fig4.json the full run writes, so CI can archive the timeline.
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <vector>
+#include "src/common/sync.h"
 
 #include "bench/flags.h"
 #include "bench/service_driver.h"
@@ -58,9 +58,9 @@ std::vector<double> MeasureTimeline(const Scale& scale, std::uint32_t replicas,
 
   const std::uint64_t start = bench::NowMicros();
   TimeSeries timeline(scale.window_us);
-  std::mutex mu;
+  eunomia::sync::Mutex mu{"fig4_failures::mu", eunomia::sync::kRankLeaf};
   options.sink = [&](const std::vector<OpRecord>& ops) {
-    std::lock_guard<std::mutex> lock(mu);
+    eunomia::sync::MutexLock lock(mu);
     timeline.Record(bench::NowMicros() - start, ops.size());
   };
   FtEunomiaService service(options);
@@ -92,7 +92,7 @@ std::vector<double> MeasureTimeline(const Scale& scale, std::uint32_t replicas,
   }
   service.Stop();
 
-  std::lock_guard<std::mutex> lock(mu);
+  eunomia::sync::MutexLock lock(mu);
   auto rates = timeline.Rates();
   rates.resize(scale.duration_us / scale.window_us, 0.0);
   return rates;

@@ -234,11 +234,13 @@ TransportRunResult RunGeoNodes(const std::string& kind, bool smoke) {
 
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> completed{0};
+  std::vector<std::shared_ptr<std::function<void(int)>>> issues;
   for (DatacenterId m = 0; m < config.num_dcs; ++m) {
     for (std::uint32_t c = 0; c < clients_per_dc; ++c) {
       const ClientId client = m * 1000 + c;
       geo::rt::GeoNode* node = nodes[m].get();
       auto issue = std::make_shared<std::function<void(int)>>();
+      issues.push_back(issue);
       *issue = [node, client, m, c, issue, update_every, &stop,
                 &completed](int i) {
         if (stop.load(std::memory_order_relaxed)) {
@@ -287,6 +289,12 @@ TransportRunResult RunGeoNodes(const std::string& kind, bool smoke) {
   });
   for (auto& node : nodes) {
     node->Stop();
+  }
+  // The client chains are self-referential (each function captures the
+  // shared_ptr that owns it); with every event loop joined, break the
+  // cycles so their captures can be reclaimed.
+  for (auto& issue : issues) {
+    *issue = nullptr;
   }
   return result;
 }

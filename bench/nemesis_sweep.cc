@@ -26,10 +26,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+#include "src/common/sync.h"
 
 #include "bench/flags.h"
 #include "src/georep/geo_store.h"
@@ -262,9 +262,11 @@ TcpScenarioResult RunTcpReconnectScenario(bool smoke) {
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> writer_ops{0};
   constexpr std::uint32_t kWriters = 4;
+  std::vector<std::shared_ptr<std::function<void(int)>>> issues;
   for (std::uint32_t c = 0; c < kWriters; ++c) {
     GeoNode* node = node0.get();
     auto issue = std::make_shared<std::function<void(int)>>();
+    issues.push_back(issue);
     *issue = [node, c, issue, &stop, &writer_ops](int i) {
       if (stop.load(std::memory_order_relaxed)) {
         return;
@@ -281,18 +283,18 @@ TcpScenarioResult RunTcpReconnectScenario(bool smoke) {
   // timestamps expose any window where dc0 stopped serving — EunomiaKV's
   // claim is that a remote datacenter dying leaves local availability
   // untouched.
-  std::mutex probe_mu;
+  eunomia::sync::Mutex probe_mu{"nemesis_sweep::probe_mu", eunomia::sync::kRankLeaf};
   std::vector<double> probe_times_s;
+  auto probe = std::make_shared<std::function<void()>>();
   {
     GeoNode* node = node0.get();
-    auto probe = std::make_shared<std::function<void()>>();
     *probe = [node, probe, &stop, &probe_mu, &probe_times_s, now_s] {
       if (stop.load(std::memory_order_relaxed)) {
         return;
       }
       node->ClientRead(999, 0, [probe, &probe_mu, &probe_times_s, now_s] {
         {
-          std::lock_guard<std::mutex> lock(probe_mu);
+          eunomia::sync::MutexLock lock(probe_mu);
           probe_times_s.push_back(now_s());
         }
         (*probe)();
@@ -300,6 +302,22 @@ TcpScenarioResult RunTcpReconnectScenario(bool smoke) {
     };
     (*probe)();
   }
+
+  // The writer and probe chains are self-referential (each function
+  // captures the shared_ptr that owns it) and terminate only by observing
+  // `stop`, so the cycles must be broken by hand — and only once the
+  // nodes' threads are joined, or an in-flight completion would invoke a
+  // cleared std::function.
+  auto teardown = [&] {
+    node1.reset();
+    node0.reset();
+    transport1.reset();
+    transport0.reset();
+    for (auto& issue : issues) {
+      *issue = nullptr;
+    }
+    *probe = nullptr;
+  };
 
   std::this_thread::sleep_for(kill_after);
   // Peer death with total state loss: everything dc1 held is gone.
@@ -320,6 +338,7 @@ TcpScenarioResult RunTcpReconnectScenario(bool smoke) {
   if (!node1->ConnectPeer(0, addr0)) {
     std::printf("ERROR: rebooted dc1 could not dial dc0\n");
     stop.store(true);
+    teardown();
     return result;
   }
   node1->Start();
@@ -352,7 +371,7 @@ TcpScenarioResult RunTcpReconnectScenario(bool smoke) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(probe_mu);
+    eunomia::sync::MutexLock lock(probe_mu);
     double prev = 0.0;
     for (const double t : probe_times_s) {
       const double gap_ms = (t - prev) * 1000.0;
@@ -385,6 +404,7 @@ TcpScenarioResult RunTcpReconnectScenario(bool smoke) {
                 static_cast<unsigned long long>(result.reconnects),
                 result.converged ? 1 : 0);
   }
+  teardown();
   return result;
 }
 

@@ -11,10 +11,10 @@
 #pragma once
 
 #include <atomic>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+#include "src/common/sync.h"
 
 #include "bench/service_driver.h"
 #include "src/common/stats.h"
@@ -46,7 +46,7 @@ inline TransportRunResult MeasureTransportThroughput(
   }
   const std::uint64_t start = NowMicros();
   std::atomic<bool> all_ok{true};
-  std::mutex stats_mu;
+  eunomia::sync::Mutex stats_mu{"net_driver::stats_mu", eunomia::sync::kRankLeaf};
   std::vector<std::thread> producers;
   producers.reserve(load.num_partitions);
   for (std::uint32_t p = 0; p < load.num_partitions; ++p) {
@@ -63,9 +63,12 @@ inline TransportRunResult MeasureTransportThroughput(
       if (!client.WaitForAcks()) {
         all_ok.store(false);
       }
+      // ack_latency_us() takes the client session lock (rank above
+      // stats_mu's): snapshot it first, merge under stats_mu alone.
+      const OnlineStats client_acks = client.ack_latency_us();
       {
-        std::lock_guard<std::mutex> lock(stats_mu);
-        result.ack_latency_us.Merge(client.ack_latency_us());
+        eunomia::sync::MutexLock lock(stats_mu);
+        result.ack_latency_us.Merge(client_acks);
       }
       client.Close();
     });

@@ -29,10 +29,10 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+#include "src/common/sync.h"
 
 #include "bench/flags.h"
 #include "src/net/eunomia_client.h"
@@ -77,12 +77,12 @@ int RunSmoke(eunomia::net::EunomiaServer::Options options) {
   }
   std::printf("eunomiad --smoke: serving on %s\n", address.c_str());
 
-  std::mutex mu;
+  eunomia::sync::Mutex mu{"eunomiad::mu", eunomia::sync::kRankLeaf};
   std::vector<OpRecord> stable;
   net::EunomiaClient::Options sub_options;
   sub_options.subscribe = true;
   sub_options.on_stable = [&](const std::vector<OpRecord>& ops) {
-    std::lock_guard<std::mutex> lock(mu);
+    eunomia::sync::MutexLock lock(mu);
     stable.insert(stable.end(), ops.begin(), ops.end());
   };
   net::EunomiaClient subscriber(&transport, address, sub_options);
@@ -132,7 +132,7 @@ int RunSmoke(eunomia::net::EunomiaServer::Options options) {
   }
   bool ordered = true;
   {
-    std::lock_guard<std::mutex> lock(mu);
+    eunomia::sync::MutexLock lock(mu);
     for (std::size_t i = 1; i < stable.size(); ++i) {
       if (!(OrderKeyOf(stable[i - 1]) < OrderKeyOf(stable[i]))) {
         ordered = false;

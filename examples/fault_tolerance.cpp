@@ -10,9 +10,9 @@
 // Build & run:   ./build/examples/fault_tolerance
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 #include <vector>
+#include "src/common/sync.h"
 
 #include "src/clock/hybrid_clock.h"
 #include "src/eunomia/service.h"
@@ -34,14 +34,14 @@ int main() {
   constexpr int kCrashAfter = 1000;
 
   std::vector<std::uint64_t> emitted;  // op tags, in emission order
-  std::mutex mu;
+  eunomia::sync::Mutex mu{"fault_tolerance::mu", eunomia::sync::kRankLeaf};
 
   eunomia::FtEunomiaService::Options options;
   options.num_partitions = kPartitions;
   options.num_replicas = 3;
   options.stable_period_us = 300;
   options.sink = [&](const std::vector<eunomia::OpRecord>& ops) {
-    std::lock_guard<std::mutex> lock(mu);
+    eunomia::sync::MutexLock lock(mu);
     for (const eunomia::OpRecord& op : ops) {
       emitted.push_back(op.tag);
     }
@@ -81,7 +81,7 @@ int main() {
   }
   service.Stop();
 
-  std::lock_guard<std::mutex> lock(mu);
+  eunomia::sync::MutexLock lock(mu);
   bool exact = emitted.size() == kTotalOps;
   for (std::size_t i = 0; exact && i < emitted.size(); ++i) {
     exact = emitted[i] == i;

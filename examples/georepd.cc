@@ -107,9 +107,11 @@ int RunSmoke(std::uint32_t num_dcs, std::uint32_t partitions) {
   // One causally chained client per datacenter: update then read, repeat.
   constexpr int kOpsPerDc = 20;
   std::atomic<int> updates_done{0};
+  std::vector<std::shared_ptr<std::function<void(int)>>> issues;
   for (DatacenterId m = 0; m < num_dcs; ++m) {
     const ClientId client = 100 + m;
     auto issue = std::make_shared<std::function<void(int)>>();
+    issues.push_back(issue);
     geo::rt::GeoNode* node = nodes[m].get();
     *issue = [node, client, m, issue, &updates_done](int i) {
       if (i >= kOpsPerDc) {
@@ -195,6 +197,12 @@ int RunSmoke(std::uint32_t num_dcs, std::uint32_t partitions) {
   for (auto& node : nodes) {
     wire_errors += node->wire_errors() + node->send_failures();
     node->Stop();
+  }
+  // The driver chains are self-referential (each function captures the
+  // shared_ptr that owns it); with every event loop joined, break the
+  // cycles so the sessions they capture can be reclaimed.
+  for (auto& issue : issues) {
+    *issue = nullptr;
   }
   if (!converged || !ordered || !identical || wire_errors != 0) {
     std::fprintf(stderr,

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <thread>
 #include <vector>
+#include "src/common/sync.h"
 
 #include "src/clock/hybrid_clock.h"
 #include "src/eunomia/service.h"
@@ -32,13 +33,13 @@ int main() {
   // The sink is where stable, totally ordered updates come out — in a real
   // deployment this ships them to remote datacenters.
   std::vector<eunomia::OpRecord> shipped;
-  std::mutex mu;
+  eunomia::sync::Mutex mu{"quickstart::mu", eunomia::sync::kRankLeaf};
 
   eunomia::EunomiaService::Options options;
   options.num_partitions = kPartitions;
   options.stable_period_us = 500;  // theta: stabilize every 0.5 ms
   options.sink = [&](const std::vector<eunomia::OpRecord>& ops) {
-    std::lock_guard<std::mutex> lock(mu);
+    eunomia::sync::MutexLock lock(mu);
     shipped.insert(shipped.end(), ops.begin(), ops.end());
   };
   eunomia::EunomiaService service(options);
@@ -70,7 +71,7 @@ int main() {
   }
   service.Stop();
 
-  std::lock_guard<std::mutex> lock(mu);
+  eunomia::sync::MutexLock lock(mu);
   std::printf("Eunomia stabilized %zu/1000 updates\n", shipped.size());
 
   // Verify the causal total order: our client's updates were issued in tag

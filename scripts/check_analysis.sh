@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Local entry point for the concurrency/static-analysis gates that CI's
+# static-analysis job runs (.github/workflows/ci.yml). Requires clang,
+# clang-tidy and clang-format on PATH.
+#
+# Usage:
+#   scripts/check_analysis.sh all               # everything, default build dir
+#   scripts/check_analysis.sh thread-safety [build-dir]
+#   scripts/check_analysis.sh negative-compile [build-dir]
+#   scripts/check_analysis.sh tidy [build-dir]
+#   scripts/check_analysis.sh format
+#
+# thread-safety configures (if needed) and builds the tree with clang and
+# -Werror=thread-safety-analysis; negative-compile proves the analysis is
+# actually armed by compiling tests/sync_negative_compile.cc three ways, each
+# of which MUST fail; tidy runs clang-tidy over every first-party TU in the
+# build's compile_commands.json with warnings as errors; format checks
+# clang-format cleanliness without rewriting anything.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+BUILD_DIR="${2:-build-clang}"
+
+configure() {
+  if [ ! -f "${BUILD_DIR}/CMakeCache.txt" ]; then
+    cmake -B "${BUILD_DIR}" -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+      -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety-analysis" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  fi
+}
+
+check_thread_safety() {
+  configure
+  cmake --build "${BUILD_DIR}" -j
+  echo "thread-safety: OK"
+}
+
+check_negative_compile() {
+  configure
+  # Each probe is an annotation violation that must FAIL to compile; a probe
+  # that compiles means the analysis is silently off and the whole clang job
+  # is vacuous.
+  local probe
+  for probe in 1 2 3; do
+    if clang++ -std=c++20 -I. -Wthread-safety -Werror=thread-safety-analysis \
+        -DEUNOMIA_NEGATIVE_COMPILE="${probe}" \
+        -c tests/sync_negative_compile.cc -o /dev/null 2>/dev/null; then
+      echo "negative-compile: probe ${probe} COMPILED (expected failure)" >&2
+      exit 1
+    fi
+    echo "negative-compile: probe ${probe} rejected, as required"
+  done
+  # And the macro-less build must succeed, so the always-built tree is clean.
+  clang++ -std=c++20 -I. -Wthread-safety -Werror=thread-safety-analysis \
+    -c tests/sync_negative_compile.cc -o /dev/null
+  echo "negative-compile: OK"
+}
+
+check_tidy() {
+  configure
+  [ -f "${BUILD_DIR}/compile_commands.json" ] || {
+    echo "tidy: ${BUILD_DIR}/compile_commands.json missing" >&2
+    exit 1
+  }
+  # First-party TUs only: the vendored/gtest TUs are not ours to lint.
+  git ls-files 'src/*.cc' 'tests/*.cc' 'bench/*.cc' 'examples/*.cc' \
+      'examples/*.cpp' |
+    grep -v 'sync_negative_compile' |
+    xargs clang-tidy -p "${BUILD_DIR}" --warnings-as-errors='*' --quiet
+  echo "clang-tidy: OK"
+}
+
+check_format() {
+  git ls-files '*.h' '*.cc' '*.cpp' | xargs clang-format --dry-run -Werror
+  echo "clang-format: OK"
+}
+
+case "${MODE}" in
+  thread-safety) check_thread_safety ;;
+  negative-compile) check_negative_compile ;;
+  tidy) check_tidy ;;
+  format) check_format ;;
+  all)
+    check_thread_safety
+    check_negative_compile
+    check_tidy
+    check_format
+    ;;
+  *)
+    echo "unknown mode: ${MODE}" >&2
+    echo "usage: $0 {all|thread-safety|negative-compile|tidy|format} [build-dir]" >&2
+    exit 2
+    ;;
+esac

@@ -16,11 +16,16 @@ void SleepMicros(std::uint64_t us) {
 
 // --- StableFanout ------------------------------------------------------------
 
+void StableFanout::SetSink(StableSink sink) {
+  sync::MutexLock lock(emit_mu_);
+  sink_ = std::move(sink);
+}
+
 void StableFanout::AddListener(StableSink listener) {
   if (!listener) {
     return;
   }
-  std::lock_guard<std::mutex> lock(listener_mu_);
+  sync::MutexLock lock(listener_mu_);
   auto next = listeners_ ? std::make_shared<std::vector<StableSink>>(*listeners_)
                          : std::make_shared<std::vector<StableSink>>();
   next->push_back(std::move(listener));
@@ -31,13 +36,13 @@ void StableFanout::Emit(const std::vector<OpRecord>& ops) {
   // emit_mu_ makes the whole fanout of one batch atomic with respect to
   // other emitters, so a failover's momentary second leader cannot
   // interleave its batch into a listener mid-delivery.
-  std::lock_guard<std::mutex> emit_lock(emit_mu_);
+  sync::MutexLock emit_lock(emit_mu_);
   if (sink_) {
     sink_(ops);
   }
   std::shared_ptr<const std::vector<StableSink>> listeners;
   {
-    std::lock_guard<std::mutex> lock(listener_mu_);
+    sync::MutexLock lock(listener_mu_);
     listeners = listeners_;
   }
   if (listeners) {
@@ -72,6 +77,9 @@ EunomiaService::EunomiaService(Options options) : options_(std::move(options)) {
     }
     first += count;
   }
+  // No pipeline threads exist yet, but the analysis (rightly) has no notion
+  // of "before Start": take the lock.
+  sync::MutexLock lock(merge_.mu);
   merge_.shard_stable.assign(shards, 0);
   merge_.staged.resize(shards);
 }
@@ -79,12 +87,12 @@ EunomiaService::EunomiaService(Options options) : options_(std::move(options)) {
 EunomiaService::~EunomiaService() { Stop(); }
 
 void EunomiaService::Start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  sync::MutexLock lifecycle(lifecycle_mu_);
   if (running_.exchange(true)) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(merge_.mu);
+    sync::MutexLock lock(merge_.mu);
     merge_.shutdown = false;
   }
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
@@ -97,7 +105,7 @@ void EunomiaService::Stop() {
   // Serialized with Start and with other Stop callers: a second concurrent
   // Stop blocks here until the pipeline is fully down instead of returning
   // while threads are still draining.
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  sync::MutexLock lifecycle(lifecycle_mu_);
   if (!running_.exchange(false)) {
     return;
   }
@@ -112,10 +120,10 @@ void EunomiaService::Stop() {
   // Every shard has now published its last extraction; let the merge thread
   // run its final flush and exit.
   {
-    std::lock_guard<std::mutex> lock(merge_.mu);
+    sync::MutexLock lock(merge_.mu);
     merge_.shutdown = true;
   }
-  merge_.cv.notify_one();
+  merge_.cv.NotifyOne();
   if (merge_thread_.joinable()) {
     merge_thread_.join();
   }
@@ -129,7 +137,7 @@ void EunomiaService::SubmitBatch(PartitionId partition, std::vector<OpRecord> ba
   ops_submitted_.fetch_add(batch.size(), std::memory_order_relaxed);
   Inbox& inbox = *inboxes_[partition];
   {
-    std::lock_guard<std::mutex> lock(inbox.mu);
+    sync::MutexLock lock(inbox.mu);
     inbox.batches.push_back(std::move(batch));
   }
   WakeShard(shard_of_partition_[partition]);
@@ -142,7 +150,7 @@ void EunomiaService::Heartbeat(PartitionId partition, Timestamp ts) {
   }
   Inbox& inbox = *inboxes_[partition];
   {
-    std::lock_guard<std::mutex> lock(inbox.mu);
+    sync::MutexLock lock(inbox.mu);
     inbox.heartbeat = std::max(inbox.heartbeat, ts);
   }
   WakeShard(shard_of_partition_[partition]);
@@ -153,7 +161,7 @@ void EunomiaService::AddStableListener(StableSink listener) {
 }
 
 std::vector<OpRecord> EunomiaService::AcquireBatchBuffer() {
-  std::lock_guard<std::mutex> lock(batch_pool_.mu);
+  sync::MutexLock lock(batch_pool_.mu);
   if (batch_pool_.free.empty()) {
     return {};
   }
@@ -163,7 +171,7 @@ std::vector<OpRecord> EunomiaService::AcquireBatchBuffer() {
 }
 
 void EunomiaService::RecycleBatches(std::vector<std::vector<OpRecord>>* drained) {
-  std::lock_guard<std::mutex> lock(batch_pool_.mu);
+  sync::MutexLock lock(batch_pool_.mu);
   for (auto& batch : *drained) {
     if (batch_pool_.free.size() >= kBatchPoolCap) {
       break;
@@ -185,10 +193,10 @@ std::uint64_t EunomiaService::heartbeats_forwarded() const {
 void EunomiaService::WakeShard(std::uint32_t shard_index) {
   Shard& shard = *shards_[shard_index];
   {
-    std::lock_guard<std::mutex> lock(shard.wake_mu);
+    sync::MutexLock lock(shard.wake_mu);
     shard.work_pending = true;
   }
-  shard.wake_cv.notify_one();
+  shard.wake_cv.NotifyOne();
 }
 
 void EunomiaService::ShardLoop(std::uint32_t shard_index) {
@@ -196,16 +204,24 @@ void EunomiaService::ShardLoop(std::uint32_t shard_index) {
   std::vector<std::vector<OpRecord>> drained;
   std::vector<std::vector<OpRecord>> recycle;
   std::vector<OpRecord> stable_ops;
+  // Shard-thread-local mirror of merge_.shard_stable[shard_index] (only this
+  // thread ever advances it), so the publish-needed test below does not have
+  // to take merge_.mu on idle ticks.
+  Timestamp published_stable = 0;
   while (running_.load(std::memory_order_relaxed)) {
     {
       // Sleep until a submission/heartbeat for this shard arrives; the
       // stabilization period is only a fallback tick.
-      std::unique_lock<std::mutex> lock(shard.wake_mu);
-      shard.wake_cv.wait_for(
-          lock, std::chrono::microseconds(options_.stable_period_us), [&] {
-            return shard.work_pending ||
-                   !running_.load(std::memory_order_relaxed);
-          });
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::microseconds(options_.stable_period_us);
+      sync::MutexLock lock(shard.wake_mu);
+      while (!shard.work_pending && running_.load(std::memory_order_relaxed)) {
+        if (shard.wake_cv.WaitUntil(shard.wake_mu, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       shard.work_pending = false;
     }
     if (!running_.load(std::memory_order_relaxed)) {
@@ -217,7 +233,7 @@ void EunomiaService::ShardLoop(std::uint32_t shard_index) {
       Inbox& inbox = *inboxes_[p];
       Timestamp hb = 0;
       {
-        std::lock_guard<std::mutex> lock(inbox.mu);
+        sync::MutexLock lock(inbox.mu);
         drained.swap(inbox.batches);
         hb = inbox.heartbeat;
       }
@@ -245,16 +261,17 @@ void EunomiaService::ShardLoop(std::uint32_t shard_index) {
     const Timestamp shard_stable = shard.core.StableTime();
     stable_ops.clear();
     shard.core.ProcessStable(&stable_ops);
-    if (shard_stable > merge_.shard_stable[shard_index] || !stable_ops.empty()) {
+    if (shard_stable > published_stable || !stable_ops.empty()) {
+      published_stable = std::max(published_stable, shard_stable);
       {
-        std::lock_guard<std::mutex> lock(merge_.mu);
+        sync::MutexLock lock(merge_.mu);
         merge_.shard_stable[shard_index] =
-            std::max(merge_.shard_stable[shard_index], shard_stable);
+            std::max(merge_.shard_stable[shard_index], published_stable);
         auto& queue = merge_.staged[shard_index];
         queue.insert(queue.end(), stable_ops.begin(), stable_ops.end());
         merge_.dirty = true;
       }
-      merge_.cv.notify_one();
+      merge_.cv.NotifyOne();
     }
   }
 }
@@ -268,9 +285,10 @@ void EunomiaService::MergeLoop() {
     // Under the lock, only detach each shard's eligible prefix; the k-way
     // merge itself runs unlocked so large emissions never stall publishes.
     {
-      std::unique_lock<std::mutex> lock(merge_.mu);
-      merge_.cv.wait(lock,
-                     [this] { return merge_.dirty || merge_.shutdown; });
+      sync::MutexLock lock(merge_.mu);
+      while (!merge_.dirty && !merge_.shutdown) {
+        merge_.cv.Wait(merge_.mu);
+      }
       const bool was_dirty = merge_.dirty;
       merge_.dirty = false;
       shutting_down = !was_dirty && merge_.shutdown;
@@ -356,7 +374,7 @@ FtEunomiaService::FtEunomiaService(Options options) : options_(std::move(options
 FtEunomiaService::~FtEunomiaService() { Stop(); }
 
 void FtEunomiaService::Start() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  sync::MutexLock lifecycle(lifecycle_mu_);
   if (running_.exchange(true)) {
     return;
   }
@@ -368,7 +386,7 @@ void FtEunomiaService::Start() {
 }
 
 void FtEunomiaService::Stop() {
-  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  sync::MutexLock lifecycle(lifecycle_mu_);
   if (!running_.exchange(false)) {
     return;
   }
@@ -399,7 +417,7 @@ void FtEunomiaService::SubmitBatch(PartitionId partition,
     if (!replica->alive.load(std::memory_order_relaxed)) {
       continue;
     }
-    std::lock_guard<std::mutex> lock(replica->mu);
+    sync::MutexLock lock(replica->mu);
     replica->batches.emplace_back(partition, shared);
   }
 }
@@ -412,7 +430,7 @@ void FtEunomiaService::Heartbeat(PartitionId partition, Timestamp ts) {
     if (!replica->alive.load(std::memory_order_relaxed)) {
       continue;
     }
-    std::lock_guard<std::mutex> lock(replica->mu);
+    sync::MutexLock lock(replica->mu);
     replica->heartbeats[partition] = std::max(replica->heartbeats[partition], ts);
   }
 }
@@ -476,7 +494,7 @@ void FtEunomiaService::ReplicaLoop(std::uint32_t replica_id) {
   while (running_.load(std::memory_order_relaxed) &&
          state.alive.load(std::memory_order_relaxed)) {
     {
-      std::lock_guard<std::mutex> lock(state.mu);
+      sync::MutexLock lock(state.mu);
       drained.swap(state.batches);
       heartbeats = state.heartbeats;
     }

@@ -27,16 +27,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/common/types.h"
 #include "src/eunomia/core.h"
 #include "src/eunomia/op.h"
@@ -55,15 +54,17 @@ using StableSink = std::function<void(const std::vector<OpRecord>&)>;
 // observe one totally ordered stream).
 class StableFanout {
  public:
-  void SetSink(StableSink sink) { sink_ = std::move(sink); }
-  void AddListener(StableSink listener);
-  void Emit(const std::vector<OpRecord>& ops);
+  void SetSink(StableSink sink) EXCLUDES(emit_mu_);
+  void AddListener(StableSink listener) EXCLUDES(listener_mu_);
+  void Emit(const std::vector<OpRecord>& ops) EXCLUDES(emit_mu_);
 
  private:
-  StableSink sink_;
-  std::mutex emit_mu_;
-  std::mutex listener_mu_;
-  std::shared_ptr<const std::vector<StableSink>> listeners_;
+  sync::Mutex emit_mu_{"StableFanout::emit_mu_", sync::kRankFanoutEmit};
+  sync::Mutex listener_mu_{"StableFanout::listener_mu_",
+                           sync::kRankFanoutListeners};
+  StableSink sink_ GUARDED_BY(emit_mu_);
+  std::shared_ptr<const std::vector<StableSink>> listeners_
+      GUARDED_BY(listener_mu_);
 };
 
 class EunomiaService {
@@ -140,9 +141,9 @@ class EunomiaService {
 
  private:
   struct Inbox {
-    std::mutex mu;
-    std::vector<std::vector<OpRecord>> batches;
-    Timestamp heartbeat = 0;
+    sync::Mutex mu{"EunomiaService::Inbox::mu", sync::kRankServiceInbox};
+    std::vector<std::vector<OpRecord>> batches GUARDED_BY(mu);
+    Timestamp heartbeat GUARDED_BY(mu) = 0;
   };
 
   struct Shard {
@@ -155,10 +156,11 @@ class EunomiaService {
     const std::uint32_t first_partition;
     const std::uint32_t num_partitions;
     EunomiaCore core;  // private to the owning worker thread
-    std::mutex wake_mu;
-    std::condition_variable wake_cv;
-    bool work_pending = false;
-    std::vector<Timestamp> last_forwarded_hb;
+    sync::Mutex wake_mu{"EunomiaService::Shard::wake_mu",
+                        sync::kRankShardWake};
+    sync::CondVar wake_cv;
+    bool work_pending GUARDED_BY(wake_mu) = false;
+    std::vector<Timestamp> last_forwarded_hb;  // owning thread only
     std::atomic<std::uint64_t> heartbeats_forwarded{0};
     std::thread thread;
   };
@@ -166,22 +168,22 @@ class EunomiaService {
   // Per-shard state published to the merge stage: the shard's stable time
   // and its extracted stable ops (a sorted stream).
   struct MergeStage {
-    std::mutex mu;
-    std::condition_variable cv;
-    bool dirty = false;
+    sync::Mutex mu{"EunomiaService::MergeStage::mu", sync::kRankMergeStage};
+    sync::CondVar cv;
+    bool dirty GUARDED_BY(mu) = false;
     // Set by Stop() only after every shard thread is joined, so the final
     // flush cannot run before the last shard's publish.
-    bool shutdown = false;
-    std::vector<Timestamp> shard_stable;
-    std::vector<std::deque<OpRecord>> staged;
+    bool shutdown GUARDED_BY(mu) = false;
+    std::vector<Timestamp> shard_stable GUARDED_BY(mu);
+    std::vector<std::deque<OpRecord>> staged GUARDED_BY(mu);
   };
 
   // Drained inbox batch vectors are recycled through this small free-list
   // instead of being destroyed every tick; AcquireBatchBuffer hands their
   // capacity back to producers.
   struct BatchPool {
-    std::mutex mu;
-    std::vector<std::vector<OpRecord>> free;
+    sync::Mutex mu{"EunomiaService::BatchPool::mu", sync::kRankBatchPool};
+    std::vector<std::vector<OpRecord>> free GUARDED_BY(mu);
   };
   static constexpr std::size_t kBatchPoolCap = 64;
 
@@ -193,7 +195,8 @@ class EunomiaService {
   Options options_;
   // Serializes Start/Stop so concurrent lifecycle calls cannot interleave
   // with thread spawning/joining.
-  std::mutex lifecycle_mu_;
+  sync::Mutex lifecycle_mu_{"EunomiaService::lifecycle_mu_",
+                            sync::kRankLifecycle};
   StableFanout fanout_;
   std::vector<std::unique_ptr<Inbox>> inboxes_;
   BatchPool batch_pool_;
@@ -267,9 +270,10 @@ class FtEunomiaService {
   using SharedBatch = std::shared_ptr<const std::vector<OpRecord>>;
 
   struct ReplicaState {
-    std::mutex mu;
-    std::vector<std::pair<PartitionId, SharedBatch>> batches;
-    std::vector<Timestamp> heartbeats;  // per partition
+    sync::Mutex mu{"FtEunomiaService::ReplicaState::mu",
+                   sync::kRankServiceInbox};
+    std::vector<std::pair<PartitionId, SharedBatch>> batches GUARDED_BY(mu);
+    std::vector<Timestamp> heartbeats GUARDED_BY(mu);  // per partition
     std::unique_ptr<EunomiaReplica> logic;
     std::thread thread;
     // "Not crashed". Independent of the service-running flag: Stop() leaves
@@ -284,7 +288,8 @@ class FtEunomiaService {
   void RecomputeLeader();
 
   Options options_;
-  std::mutex lifecycle_mu_;
+  sync::Mutex lifecycle_mu_{"FtEunomiaService::lifecycle_mu_",
+                            sync::kRankLifecycle};
   StableFanout fanout_;
   std::vector<std::unique_ptr<ReplicaState>> replicas_;
   std::atomic<bool> running_{false};

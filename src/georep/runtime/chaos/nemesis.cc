@@ -286,6 +286,10 @@ NemesisReport RunNemesisSchedule(const NemesisOptions& options) {
   }
 
   sim.RunUntil(horizon_us + quiesce_us);
+  // The driver lambda captures `tick` (a shared_ptr to itself) to stay
+  // alive across reschedules; with the horizon reached nothing will call
+  // it again, so break the self-reference or the cycle leaks.
+  *tick = nullptr;
 
   if (std::getenv("NEMESIS_DEBUG") != nullptr) {
     std::printf("DEBUG seed=%llu scalar=%d\n",

@@ -28,45 +28,45 @@ std::uint64_t EventLoop::Now() const {
 }
 
 void EventLoop::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (running_ || stopped_) {
     return;
   }
   running_ = true;
   thread_ = std::thread([this] { RunLoop(); });
-  loop_thread_id_ = thread_.get_id();
+  loop_thread_id_.store(thread_.get_id(), std::memory_order_release);
 }
 
 void EventLoop::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (stopped_) {
       return;
     }
     stopped_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
   if (thread_.joinable()) {
     thread_.join();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   running_ = false;
   tasks_.clear();
 }
 
 void EventLoop::ScheduleAfter(std::uint64_t delay_us,
                               std::function<void()> fn) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (stopped_) {
     return;
   }
   tasks_.emplace(std::make_pair(Now() + delay_us, next_seq_++), std::move(fn));
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void EventLoop::RunBlocking(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (!running_ || stopped_) {
       fn();  // loop not live: the caller is the only executor
       return;
@@ -87,7 +87,7 @@ void EventLoop::RunBlocking(std::function<void()> fn) {
   // joined loop thread can no longer touch runtime state.
   while (future.wait_for(std::chrono::milliseconds(20)) !=
          std::future_status::ready) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (stopped_ && !running_) {
       if (future.wait_for(std::chrono::seconds(0)) !=
           std::future_status::ready) {
@@ -99,24 +99,28 @@ void EventLoop::RunBlocking(std::function<void()> fn) {
 }
 
 void EventLoop::RunLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  // Manual Lock/Unlock instead of a scoped guard: the lock is dropped
+  // around each task body and re-taken at the loop head — a shape the
+  // static analysis still verifies because every path rebalances.
+  mu_.Lock();
   while (!stopped_) {
     if (tasks_.empty()) {
-      cv_.wait(lock);
+      cv_.Wait(mu_);
       continue;
     }
     const std::uint64_t due = tasks_.begin()->first.first;
     if (due > Now()) {
-      cv_.wait_until(lock, epoch_ + std::chrono::microseconds(due));
+      cv_.WaitUntil(mu_, epoch_ + std::chrono::microseconds(due));
       continue;
     }
     auto it = tasks_.begin();
     std::function<void()> fn = std::move(it->second);
     tasks_.erase(it);
-    lock.unlock();
+    mu_.Unlock();
     fn();
-    lock.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 }  // namespace eunomia::geo::rt

@@ -13,14 +13,15 @@
 // tasks may then be inspected from any thread.
 #pragma once
 
+#include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "src/common/sync.h"
 
 namespace eunomia::geo::rt {
 
@@ -53,25 +54,28 @@ class EventLoop {
   void RunBlocking(std::function<void()> fn);
 
   bool InLoopThread() const {
-    return std::this_thread::get_id() == loop_thread_id_;
+    return std::this_thread::get_id() ==
+           loop_thread_id_.load(std::memory_order_acquire);
   }
 
  private:
   void RunLoop();
 
   const std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable sync::Mutex mu_{"rt::EventLoop::mu_", sync::kRankEventLoop};
+  sync::CondVar cv_;
   // (due time us, submission seq) -> task; multimap iteration order is the
   // execution order.
   std::multimap<std::pair<std::uint64_t, std::uint64_t>,
                 std::function<void()>>
-      tasks_;
-  std::uint64_t next_seq_ = 0;
-  bool running_ = false;
-  bool stopped_ = false;
+      tasks_ GUARDED_BY(mu_);
+  std::uint64_t next_seq_ GUARDED_BY(mu_) = 0;
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stopped_ GUARDED_BY(mu_) = false;
   std::thread thread_;
-  std::thread::id loop_thread_id_;
+  // Atomic rather than mu_-guarded: InLoopThread is called from loop tasks
+  // that would deadlock taking mu_ while RunLoop holds it.
+  std::atomic<std::thread::id> loop_thread_id_{};
 };
 
 }  // namespace eunomia::geo::rt

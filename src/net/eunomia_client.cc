@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "src/common/sync.h"
 
 namespace eunomia::net {
 
@@ -32,21 +32,23 @@ struct EunomiaClient::Session {
 
   std::shared_ptr<Connection> connection;  // set by Connect (wrapper thread)
 
-  mutable std::mutex mu;
-  std::condition_variable cv;
-  bool hello_acked = false;
-  bool subscribe_acked = false;
-  std::uint64_t ops_submitted = 0;  // guarded by mu; written by the producer
-  std::uint64_t ops_acked = 0;
+  mutable sync::Mutex mu{"EunomiaClient::Session::mu",
+                         sync::kRankClientSession};
+  sync::CondVar cv;
+  bool hello_acked GUARDED_BY(mu) = false;
+  bool subscribe_acked GUARDED_BY(mu) = false;
+  std::uint64_t ops_submitted GUARDED_BY(mu) = 0;  // written by the producer
+  std::uint64_t ops_acked GUARDED_BY(mu) = 0;
   // (submission cumulative-op target, send time) of unacked batches, for
   // ack round-trip latency.
-  std::deque<std::pair<std::uint64_t, std::uint64_t>> inflight_batches;
-  OnlineStats ack_latency_us;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> inflight_batches
+      GUARDED_BY(mu);
+  OnlineStats ack_latency_us GUARDED_BY(mu);
   // Next expected stable stream sequence; unset until the first
   // SubscribeAck or StableBatch (whichever the races deliver first).
-  bool stream_seq_known = false;
-  std::uint64_t next_stream_seq = 0;
-  std::uint32_t server_partitions = 0;
+  bool stream_seq_known GUARDED_BY(mu) = false;
+  std::uint64_t next_stream_seq GUARDED_BY(mu) = 0;
+  std::uint32_t server_partitions GUARDED_BY(mu) = 0;
 
   std::atomic<bool> connected{false};
   std::atomic<bool> disconnected{false};
@@ -57,7 +59,7 @@ struct EunomiaClient::Session {
   void OnDisconnected() {
     disconnected.store(true, std::memory_order_release);
     connected.store(false, std::memory_order_release);
-    cv.notify_all();
+    cv.NotifyAll();
   }
   // A protocol violation from the server: flag the session dead. The
   // connection itself is torn down by Close()/transport Shutdown — touching
@@ -78,11 +80,11 @@ void EunomiaClient::Session::OnFrame(wire::Frame&& frame) {
         return;
       }
       {
-        std::lock_guard<std::mutex> lock(mu);
+        sync::MutexLock lock(mu);
         server_partitions = ack.num_partitions;
         hello_acked = true;
       }
-      cv.notify_all();
+      cv.NotifyAll();
       return;
     }
     case wire::MsgType::kSubmitAck: {
@@ -93,7 +95,7 @@ void EunomiaClient::Session::OnFrame(wire::Frame&& frame) {
       }
       const std::uint64_t now = NowMicros();
       {
-        std::lock_guard<std::mutex> lock(mu);
+        sync::MutexLock lock(mu);
         ops_acked = std::max(ops_acked, ack.ops_received);
         while (!inflight_batches.empty() &&
                inflight_batches.front().first <= ops_acked) {
@@ -102,7 +104,7 @@ void EunomiaClient::Session::OnFrame(wire::Frame&& frame) {
           inflight_batches.pop_front();
         }
       }
-      cv.notify_all();
+      cv.NotifyAll();
       return;
     }
     case wire::MsgType::kSubscribeAck: {
@@ -112,7 +114,7 @@ void EunomiaClient::Session::OnFrame(wire::Frame&& frame) {
         return;
       }
       {
-        std::lock_guard<std::mutex> lock(mu);
+        sync::MutexLock lock(mu);
         // A StableBatch can legitimately overtake the SubscribeAck (they
         // come from different server threads); only adopt the ack's base if
         // no batch established one yet.
@@ -122,7 +124,7 @@ void EunomiaClient::Session::OnFrame(wire::Frame&& frame) {
         }
         subscribe_acked = true;
       }
-      cv.notify_all();
+      cv.NotifyAll();
       return;
     }
     case wire::MsgType::kStableBatch: {
@@ -132,7 +134,7 @@ void EunomiaClient::Session::OnFrame(wire::Frame&& frame) {
         return;
       }
       {
-        std::lock_guard<std::mutex> lock(mu);
+        sync::MutexLock lock(mu);
         if (stream_seq_known && msg.stream_seq != next_stream_seq) {
           stream_broken.store(true, std::memory_order_release);
         }
@@ -199,13 +201,16 @@ bool EunomiaClient::Connect() {
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(session_->options.timeout_ms);
   {
-    std::unique_lock<std::mutex> lock(session_->mu);
-    if (!session_->cv.wait_until(lock, deadline, [this] {
-          return session_->hello_acked ||
-                 session_->disconnected.load(std::memory_order_acquire);
-        }) ||
-        !session_->hello_acked) {
-      lock.unlock();
+    sync::MutexLock lock(session_->mu);
+    while (!session_->hello_acked &&
+           !session_->disconnected.load(std::memory_order_acquire)) {
+      if (session_->cv.WaitUntil(session_->mu, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (!session_->hello_acked) {
+      lock.Unlock();
       return fail();
     }
   }
@@ -213,13 +218,16 @@ bool EunomiaClient::Connect() {
     if (!session_->connection->SendFrame(wire::MsgType::kSubscribe, {})) {
       return fail();
     }
-    std::unique_lock<std::mutex> lock(session_->mu);
-    if (!session_->cv.wait_until(lock, deadline, [this] {
-          return session_->subscribe_acked ||
-                 session_->disconnected.load(std::memory_order_acquire);
-        }) ||
-        !session_->subscribe_acked) {
-      lock.unlock();
+    sync::MutexLock lock(session_->mu);
+    while (!session_->subscribe_acked &&
+           !session_->disconnected.load(std::memory_order_acquire)) {
+      if (session_->cv.WaitUntil(session_->mu, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (!session_->subscribe_acked) {
+      lock.Unlock();
       return fail();
     }
   }
@@ -265,16 +273,16 @@ bool EunomiaClient::SubmitBatch(PartitionId partition,
       // Backpressure: block while the unacked window is full. The server
       // acks each frame after handing it to the service, so the window
       // bounds both transport queues and server-side inbox growth from
-      // this producer.
-      std::unique_lock<std::mutex> lock(s.mu);
-      s.cv.wait(lock, [&s, n] {
-        // An idle window always admits one frame, even one larger than the
-        // window — otherwise a single oversized frame would wait forever.
-        return s.ops_acked >= s.ops_submitted ||
+      // this producer. An idle window always admits one frame, even one
+      // larger than the window — otherwise a single oversized frame would
+      // wait forever.
+      sync::MutexLock lock(s.mu);
+      while (!(s.ops_acked >= s.ops_submitted ||
                s.ops_submitted + n - s.ops_acked <=
                    s.options.max_inflight_ops ||
-               s.disconnected.load(std::memory_order_acquire);
-      });
+               s.disconnected.load(std::memory_order_acquire))) {
+        s.cv.Wait(s.mu);
+      }
       if (s.disconnected.load(std::memory_order_acquire)) {
         return false;
       }
@@ -306,20 +314,23 @@ bool EunomiaClient::WaitForAcks() {
   Session& s = *session_;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(s.options.timeout_ms);
-  std::unique_lock<std::mutex> lock(s.mu);
-  return s.cv.wait_until(lock, deadline, [&s] {
-    return s.ops_acked >= s.ops_submitted ||
-           s.disconnected.load(std::memory_order_acquire);
-  }) && s.ops_acked >= s.ops_submitted;
+  sync::MutexLock lock(s.mu);
+  while (!(s.ops_acked >= s.ops_submitted ||
+           s.disconnected.load(std::memory_order_acquire))) {
+    if (s.cv.WaitUntil(s.mu, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
+  return s.ops_acked >= s.ops_submitted;
 }
 
 std::uint64_t EunomiaClient::ops_submitted() const {
-  std::lock_guard<std::mutex> lock(session_->mu);
+  sync::MutexLock lock(session_->mu);
   return session_->ops_submitted;
 }
 
 std::uint64_t EunomiaClient::ops_acked() const {
-  std::lock_guard<std::mutex> lock(session_->mu);
+  sync::MutexLock lock(session_->mu);
   return session_->ops_acked;
 }
 
@@ -328,12 +339,12 @@ std::uint64_t EunomiaClient::stable_ops_received() const {
 }
 
 std::uint32_t EunomiaClient::server_partitions() const {
-  std::lock_guard<std::mutex> lock(session_->mu);
+  sync::MutexLock lock(session_->mu);
   return session_->server_partitions;
 }
 
 OnlineStats EunomiaClient::ack_latency_us() const {
-  std::lock_guard<std::mutex> lock(session_->mu);
+  sync::MutexLock lock(session_->mu);
   return session_->ack_latency_us;
 }
 

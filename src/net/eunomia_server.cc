@@ -68,7 +68,7 @@ void EunomiaServer::Stop() {
   } else {
     ft_service_->Stop();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   peers_.clear();
 }
 
@@ -81,7 +81,7 @@ ConnectionHandler EunomiaServer::MakeHandler(
     const std::shared_ptr<Connection>& connection) {
   connections_accepted_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     peers_[connection->id()].connection = connection;
   }
   ConnectionHandler handler;
@@ -89,7 +89,7 @@ ConnectionHandler EunomiaServer::MakeHandler(
     OnFrame(c, std::move(frame));
   };
   handler.on_close = [this](Connection& c, wire::WireError) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     peers_.erase(c.id());
   };
   return handler;
@@ -98,7 +98,7 @@ ConnectionHandler EunomiaServer::MakeHandler(
 void EunomiaServer::Reject(Connection& connection) {
   connections_rejected_.fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     peers_.erase(connection.id());
   }
   connection.Close();
@@ -134,7 +134,7 @@ void EunomiaServer::OnFrame(Connection& connection, wire::Frame&& frame) {
       }
       bool accepted = false;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         const auto it = peers_.find(connection.id());
         // A double Hello is a protocol violation.
         if (it != peers_.end() && !it->second.hello_done) {
@@ -162,7 +162,7 @@ void EunomiaServer::OnFrame(Connection& connection, wire::Frame&& frame) {
       std::uint64_t cumulative = 0;
       bool accepted = false;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         const auto it = peers_.find(connection.id());
         if (it != peers_.end() && it->second.hello_done) {
           it->second.ops_received += msg.ops.size();
@@ -194,7 +194,7 @@ void EunomiaServer::OnFrame(Connection& connection, wire::Frame&& frame) {
       }
       bool hello_done = false;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         const auto it = peers_.find(connection.id());
         hello_done = it != peers_.end() && it->second.hello_done;
       }
@@ -209,7 +209,7 @@ void EunomiaServer::OnFrame(Connection& connection, wire::Frame&& frame) {
       wire::SubscribeAckMsg ack;
       bool accepted = false;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         const auto it = peers_.find(connection.id());
         if (it != peers_.end() && it->second.hello_done) {
           it->second.subscribed = true;
@@ -247,7 +247,7 @@ void EunomiaServer::OnStable(const std::vector<OpRecord>& ops) {
   std::vector<std::shared_ptr<Connection>> subscribers;
   std::uint64_t seq = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     seq = stream_seq_;
     stream_seq_ += chunks;
     for (const auto& [id, peer] : peers_) {

@@ -37,11 +37,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/eunomia/service.h"
 #include "src/net/transport.h"
 #include "src/ordbuf/ordered_buffer.h"
@@ -119,9 +119,9 @@ class EunomiaServer {
   // Guards peers_ and stream_seq_. Emission snapshots subscribers under the
   // lock and sends outside it, so a slow subscriber blocks only the merge
   // thread, never unrelated connections' frame handling.
-  std::mutex mu_;
-  std::unordered_map<std::uint64_t, Peer> peers_;
-  std::uint64_t stream_seq_ = 0;
+  sync::Mutex mu_{"net::EunomiaServer::mu_", sync::kRankServerPeers};
+  std::unordered_map<std::uint64_t, Peer> peers_ GUARDED_BY(mu_);
+  std::uint64_t stream_seq_ GUARDED_BY(mu_) = 0;
 
   std::atomic<bool> started_{false};
   std::atomic<std::uint64_t> ops_submitted_remote_{0};

@@ -32,16 +32,16 @@ class LoopbackTransport::Conn : public Connection,
 
  private:
   bool Enqueue(std::string bytes) {
-    std::unique_lock<std::mutex> lock(mu_);
-    space_cv_.wait(lock, [this] {
-      return inbox_bytes_ < kInboxCapacityBytes || closing_;
-    });
+    sync::MutexLock lock(mu_);
+    while (inbox_bytes_ >= kInboxCapacityBytes && !closing_) {
+      space_cv_.Wait(mu_);
+    }
     if (closing_) {
       return false;
     }
     inbox_bytes_ += bytes.size();
     inbox_.push_back(std::move(bytes));
-    deliver_cv_.notify_one();
+    deliver_cv_.NotifyOne();
     return true;
   }
 
@@ -49,9 +49,10 @@ class LoopbackTransport::Conn : public Connection,
     for (;;) {
       std::string bytes;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        deliver_cv_.wait(
-            lock, [this] { return !inbox_.empty() || closing_ || eof_; });
+        sync::MutexLock lock(mu_);
+        while (inbox_.empty() && !closing_ && !eof_) {
+          deliver_cv_.Wait(mu_);
+        }
         if (closing_) {
           break;  // local hard close: drop whatever was still queued
         }
@@ -64,7 +65,7 @@ class LoopbackTransport::Conn : public Connection,
         bytes = std::move(inbox_.front());
         inbox_.pop_front();
         inbox_bytes_ -= bytes.size();
-        space_cv_.notify_one();
+        space_cv_.NotifyOne();
       }
       if (!receiver_.Deliver(*this, handler_, bytes.data(), bytes.size())) {
         CloseInternal(receiver_.error());
@@ -74,24 +75,29 @@ class LoopbackTransport::Conn : public Connection,
     if (handler_.on_close) {
       wire::WireError error;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(mu_);
         error = close_error_;
       }
       handler_.on_close(*this, error);
     }
+    // No callback can follow on_close; release the handler's captures.
+    // Handlers commonly close a cycle (a client session owns this
+    // connection, the handler owns the session), and dropping them here is
+    // what lets such pairs be reclaimed after teardown.
+    handler_ = ConnectionHandler{};
   }
 
   void CloseInternal(wire::WireError error) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(mu_);
       if (!closing_) {
         closing_ = true;
         close_error_ = error;
       }
     }
     closed_.store(true, std::memory_order_release);
-    deliver_cv_.notify_all();
-    space_cv_.notify_all();
+    deliver_cv_.NotifyAll();
+    space_cv_.NotifyAll();
     if (const std::shared_ptr<Conn> peer = peer_.lock()) {
       peer->OnPeerClosed();
     }
@@ -101,21 +107,21 @@ class LoopbackTransport::Conn : public Connection,
   // sent stays deliverable. Sends from this side are pointless now.
   void OnPeerClosed() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(mu_);
       eof_ = true;
     }
     closed_.store(true, std::memory_order_release);
-    deliver_cv_.notify_all();
+    deliver_cv_.NotifyAll();
   }
 
-  std::mutex mu_;
-  std::condition_variable deliver_cv_;
-  std::condition_variable space_cv_;
-  std::deque<std::string> inbox_;
-  std::size_t inbox_bytes_ = 0;
-  bool closing_ = false;
-  bool eof_ = false;
-  wire::WireError close_error_ = wire::WireError::kNone;
+  sync::Mutex mu_{"LoopbackTransport::Conn::mu_", sync::kRankConnQueue};
+  sync::CondVar deliver_cv_;
+  sync::CondVar space_cv_;
+  std::deque<std::string> inbox_ GUARDED_BY(mu_);
+  std::size_t inbox_bytes_ GUARDED_BY(mu_) = 0;
+  bool closing_ GUARDED_BY(mu_) = false;
+  bool eof_ GUARDED_BY(mu_) = false;
+  wire::WireError close_error_ GUARDED_BY(mu_) = wire::WireError::kNone;
 
   std::weak_ptr<Conn> peer_;  // weak: the pair must not keep itself alive
   ConnectionHandler handler_;
@@ -130,7 +136,7 @@ std::string LoopbackTransport::Listen(const std::string& address,
   if (address.empty() || handler == nullptr) {
     return "";
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (shutdown_ || listeners_.count(address) != 0) {
     return "";
   }
@@ -142,7 +148,7 @@ std::shared_ptr<Connection> LoopbackTransport::Dial(const std::string& address,
                                                     ConnectionHandler handler) {
   AcceptHandler accept;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (shutdown_) {
       return nullptr;
     }
@@ -163,7 +169,7 @@ std::shared_ptr<Connection> LoopbackTransport::Dial(const std::string& address,
   client->StartDelivery();
   server->StartDelivery();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (!shutdown_) {
       connections_.push_back(client);
       connections_.push_back(server);
@@ -180,7 +186,7 @@ std::shared_ptr<Connection> LoopbackTransport::Dial(const std::string& address,
 void LoopbackTransport::Shutdown() {
   std::vector<std::shared_ptr<Conn>> connections;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     shutdown_ = true;
     listeners_.clear();
     connections.swap(connections_);

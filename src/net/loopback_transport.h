@@ -14,15 +14,14 @@
 // cap (or either side closes).
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/net/transport.h"
 
 namespace eunomia::net {
@@ -42,10 +41,10 @@ class LoopbackTransport : public Transport {
  private:
   class Conn;
 
-  std::mutex mu_;
-  bool shutdown_ = false;
-  std::map<std::string, AcceptHandler> listeners_;
-  std::vector<std::shared_ptr<Conn>> connections_;
+  sync::Mutex mu_{"LoopbackTransport::mu_", sync::kRankTransport};
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  std::map<std::string, AcceptHandler> listeners_ GUARDED_BY(mu_);
+  std::vector<std::shared_ptr<Conn>> connections_ GUARDED_BY(mu_);
 };
 
 }  // namespace eunomia::net

@@ -8,10 +8,11 @@
 
 #include <cerrno>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <thread>
+
+#include "src/common/sync.h"
 
 namespace eunomia::net {
 
@@ -63,14 +64,19 @@ class TcpTransport::Conn : public Connection,
       WriterLoop();
       live_threads_.fetch_sub(1, std::memory_order_release);
     });
+    // Published only after both std::thread members are assigned: the
+    // loops can run to completion (instantly-closed peer) before Start
+    // returns, and a concurrent reaper keying on live_threads_ alone
+    // would then join the members mid-assignment.
+    started_.store(true, std::memory_order_release);
   }
 
-  // True once both threads have finished their loops (the counter starts
-  // at -1 so a never-started connection is not "finished"): JoinAndRelease
-  // will return immediately. Lets the transport reap dead connections
-  // without blocking on live ones.
+  // True once Start has returned and both threads have finished their
+  // loops: JoinAndRelease will return immediately. Lets the transport reap
+  // dead connections without blocking on live ones.
   bool finished() const {
-    return live_threads_.load(std::memory_order_acquire) == 0;
+    return started_.load(std::memory_order_acquire) &&
+           live_threads_.load(std::memory_order_acquire) == 0;
   }
 
   void Close() override { CloseInternal(wire::WireError::kNone, false); }
@@ -92,16 +98,16 @@ class TcpTransport::Conn : public Connection,
 
  protected:
   bool SendBytes(std::string bytes) override {
-    std::unique_lock<std::mutex> lock(out_mu_);
-    space_cv_.wait(lock, [this] {
-      return outbox_bytes_ < kOutboxCapacityBytes || closing_;
-    });
+    sync::MutexLock lock(out_mu_);
+    while (outbox_bytes_ >= kOutboxCapacityBytes && !closing_) {
+      space_cv_.Wait(out_mu_);
+    }
     if (closing_) {
       return false;
     }
     outbox_bytes_ += bytes.size();
     outbox_.push_back(std::move(bytes));
-    out_cv_.notify_one();
+    out_cv_.NotifyOne();
     return true;
   }
 
@@ -113,7 +119,7 @@ class TcpTransport::Conn : public Connection,
   // nothing. Reads stop immediately either way.
   void CloseInternal(wire::WireError error, bool hard) {
     {
-      std::lock_guard<std::mutex> lock(out_mu_);
+      sync::MutexLock lock(out_mu_);
       if (!closing_) {
         closing_ = true;
         close_error_ = error;
@@ -123,8 +129,8 @@ class TcpTransport::Conn : public Connection,
     // The fd itself stays open until JoinAndRelease so the threads race
     // nothing; shutdown() just unblocks them.
     ::shutdown(fd_, hard ? SHUT_RDWR : SHUT_RD);
-    out_cv_.notify_all();
-    space_cv_.notify_all();
+    out_cv_.NotifyAll();
+    space_cv_.NotifyAll();
   }
 
   void ReaderLoop() {
@@ -157,25 +163,32 @@ class TcpTransport::Conn : public Connection,
     if (handler_.on_close) {
       wire::WireError reported;
       {
-        std::lock_guard<std::mutex> lock(out_mu_);
+        sync::MutexLock lock(out_mu_);
         reported = close_error_;
       }
       handler_.on_close(*this, reported);
     }
+    // No callback can follow on_close; release the handler's captures.
+    // Handlers commonly close a cycle (a client session owns this
+    // connection, the handler owns the session), and dropping them here is
+    // what lets such pairs be reclaimed after teardown.
+    handler_ = ConnectionHandler{};
   }
 
   void WriterLoop() {
     std::deque<std::string> local;
     for (;;) {
       {
-        std::unique_lock<std::mutex> lock(out_mu_);
-        out_cv_.wait(lock, [this] { return !outbox_.empty() || closing_; });
+        sync::MutexLock lock(out_mu_);
+        while (outbox_.empty() && !closing_) {
+          out_cv_.Wait(out_mu_);
+        }
         if (outbox_.empty()) {
           break;  // closing and fully drained: time for the FIN
         }
         local.swap(outbox_);
         outbox_bytes_ = 0;
-        space_cv_.notify_all();
+        space_cv_.NotifyAll();
       }
       for (const std::string& bytes : local) {
         if (!WriteFully(bytes)) {
@@ -212,14 +225,15 @@ class TcpTransport::Conn : public Connection,
   ConnectionHandler handler_;
   internal::FrameReceiver receiver_;
   std::atomic<int> live_threads_{-1};
+  std::atomic<bool> started_{false};
 
-  std::mutex out_mu_;
-  std::condition_variable out_cv_;
-  std::condition_variable space_cv_;
-  std::deque<std::string> outbox_;
-  std::size_t outbox_bytes_ = 0;
-  bool closing_ = false;
-  wire::WireError close_error_ = wire::WireError::kNone;
+  sync::Mutex out_mu_{"TcpTransport::Conn::out_mu_", sync::kRankConnQueue};
+  sync::CondVar out_cv_;
+  sync::CondVar space_cv_;
+  std::deque<std::string> outbox_ GUARDED_BY(out_mu_);
+  std::size_t outbox_bytes_ GUARDED_BY(out_mu_) = 0;
+  bool closing_ GUARDED_BY(out_mu_) = false;
+  wire::WireError close_error_ GUARDED_BY(out_mu_) = wire::WireError::kNone;
 
   std::thread reader_;
   std::thread writer_;
@@ -252,7 +266,7 @@ std::string TcpTransport::Listen(const std::string& address,
     return "";
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (shutdown_ || listen_fd_ >= 0) {
       ::close(fd);
       return "";
@@ -280,7 +294,7 @@ void TcpTransport::AcceptLoop() {
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
           errno == ENOMEM) {
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          sync::MutexLock lock(mu_);
           if (shutdown_) {
             return;
           }
@@ -296,7 +310,7 @@ void TcpTransport::AcceptLoop() {
     auto connection = std::make_shared<Conn>(fd);
     connection->SetHandler(accept_handler_(connection));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(mu_);
       if (shutdown_) {
         ::close(fd);
         return;
@@ -314,7 +328,7 @@ void TcpTransport::AcceptLoop() {
 void TcpTransport::ReapFinishedConnections() {
   std::vector<std::shared_ptr<Conn>> finished;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     auto it = connections_.begin();
     while (it != connections_.end()) {
       if ((*it)->finished()) {
@@ -350,7 +364,7 @@ std::shared_ptr<Connection> TcpTransport::Dial(const std::string& address,
   auto connection = std::make_shared<Conn>(fd);
   connection->SetHandler(std::move(handler));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (shutdown_) {
       ::close(fd);
       return nullptr;
@@ -364,7 +378,7 @@ std::shared_ptr<Connection> TcpTransport::Dial(const std::string& address,
 void TcpTransport::Shutdown() {
   int listen_fd = -1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (shutdown_) {
       return;
     }
@@ -384,7 +398,7 @@ void TcpTransport::Shutdown() {
   }
   std::vector<std::shared_ptr<Conn>> connections;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     connections.swap(connections_);
   }
   for (const auto& connection : connections) {

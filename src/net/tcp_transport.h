@@ -15,11 +15,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/net/transport.h"
 
 namespace eunomia::net {
@@ -42,13 +42,16 @@ class TcpTransport : public Transport {
   void AcceptLoop();
   void ReapFinishedConnections();
 
-  std::mutex mu_;
-  bool shutdown_ = false;
+  sync::Mutex mu_{"TcpTransport::mu_", sync::kRankTransport};
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  // Written once under mu_ by Listen before the accept thread exists, then
+  // read lock-free by AcceptLoop; Shutdown closes the fd only after joining
+  // the accept thread. Not GUARDED_BY: the publish order is the guard.
   int listen_fd_ = -1;
   std::string listen_host_;
   AcceptHandler accept_handler_;
   std::thread accept_thread_;
-  std::vector<std::shared_ptr<Conn>> connections_;
+  std::vector<std::shared_ptr<Conn>> connections_ GUARDED_BY(mu_);
 };
 
 }  // namespace eunomia::net

@@ -20,7 +20,7 @@ bool Connection::SendFrame(wire::MsgType type, std::string_view payload) {
   // Sequence assignment and transmission happen under one lock so the wire
   // order always matches the stamped order — two racing senders can never
   // interleave seq n after n+1 on the byte stream.
-  std::lock_guard<std::mutex> lock(send_mu_);
+  sync::MutexLock lock(send_mu_);
   std::string bytes;
   wire::EncodeFrame(type, send_seq_, payload, &bytes);
   if (!SendBytes(std::move(bytes))) {

@@ -30,10 +30,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/net/wire.h"
 
 namespace eunomia::net {
@@ -42,7 +42,10 @@ class Connection;
 
 // Callbacks an endpoint installs on a connection. on_frame receives decoded
 // frames in FIFO order; on_close fires exactly once, with kNone for a clean
-// peer close and the wire error otherwise.
+// peer close and the wire error otherwise. After on_close returns the
+// transport drops the handler, releasing everything it captured — so a
+// handler may own (a share of) the very object that owns this connection
+// without leaking the pair.
 struct ConnectionHandler {
   std::function<void(Connection&, wire::Frame&&)> on_frame;
   std::function<void(Connection&, wire::WireError)> on_close;
@@ -74,14 +77,14 @@ class Connection {
 
   // Hands one encoded frame to the backend for transmission. Called with
   // send_mu_ held, so implementations see frames in sequence order.
-  virtual bool SendBytes(std::string bytes) = 0;
+  virtual bool SendBytes(std::string bytes) REQUIRES(send_mu_) = 0;
 
   std::atomic<bool> closed_{false};
 
  private:
   const std::uint64_t id_;  // process-unique, for logging/registries
-  std::mutex send_mu_;
-  std::uint64_t send_seq_ = 0;
+  sync::Mutex send_mu_{"net::Connection::send_mu_", sync::kRankConnSend};
+  std::uint64_t send_seq_ GUARDED_BY(send_mu_) = 0;
 };
 
 class Transport {

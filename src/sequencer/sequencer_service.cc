@@ -19,17 +19,17 @@ void SequencerService::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   if (server_.joinable()) {
     server_.join();
   }
   // Fail any stranded requests so callers unblock.
-  std::lock_guard<std::mutex> lock(queue_mu_);
+  sync::MutexLock lock(queue_mu_);
   for (Request* req : queue_) {
-    std::lock_guard<std::mutex> rlock(req->mu);
+    sync::MutexLock rlock(req->mu);
     req->result = counter_.fetch_add(1, std::memory_order_relaxed) + 1;
     req->done = true;
-    req->cv.notify_one();
+    req->cv.NotifyOne();
   }
   queue_.clear();
 }
@@ -37,12 +37,14 @@ void SequencerService::Stop() {
 std::uint64_t SequencerService::Next() {
   Request req;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    sync::MutexLock lock(queue_mu_);
     queue_.push_back(&req);
   }
-  queue_cv_.notify_one();
-  std::unique_lock<std::mutex> rlock(req.mu);
-  req.cv.wait(rlock, [&req] { return req.done; });
+  queue_cv_.NotifyOne();
+  sync::MutexLock rlock(req.mu);
+  while (!req.done) {
+    req.cv.Wait(req.mu);
+  }
   return req.result;
 }
 
@@ -50,10 +52,10 @@ void SequencerService::ServerLoop() {
   std::vector<Request*> batch;
   while (running_.load(std::memory_order_relaxed)) {
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] {
-        return !queue_.empty() || !running_.load(std::memory_order_relaxed);
-      });
+      sync::MutexLock lock(queue_mu_);
+      while (queue_.empty() && running_.load(std::memory_order_relaxed)) {
+        queue_cv_.Wait(queue_mu_);
+      }
       batch.swap(queue_);
     }
     // One request at a time: the sequencer cannot batch without blocking
@@ -61,10 +63,10 @@ void SequencerService::ServerLoop() {
     // clients").
     for (Request* req : batch) {
       const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed) + 1;
-      std::lock_guard<std::mutex> rlock(req->mu);
+      sync::MutexLock rlock(req->mu);
       req->result = n;
       req->done = true;
-      req->cv.notify_one();
+      req->cv.NotifyOne();
     }
     batch.clear();
   }
@@ -95,7 +97,7 @@ void ChainSequencerService::Stop() {
     return;
   }
   for (auto& stage : stages_) {
-    stage->cv.notify_all();
+    stage->cv.NotifyAll();
   }
   for (auto& stage : stages_) {
     if (stage->thread.joinable()) {
@@ -104,12 +106,12 @@ void ChainSequencerService::Stop() {
   }
   // Unblock stranded requests.
   for (auto& stage : stages_) {
-    std::lock_guard<std::mutex> lock(stage->mu);
+    sync::MutexLock lock(stage->mu);
     for (auto& [req, value] : stage->queue) {
-      std::lock_guard<std::mutex> rlock(req->mu);
+      sync::MutexLock rlock(req->mu);
       req->result = value;
       req->done = true;
-      req->cv.notify_one();
+      req->cv.NotifyOne();
     }
     stage->queue.clear();
   }
@@ -120,12 +122,14 @@ std::uint64_t ChainSequencerService::Next() {
   {
     // Head of the chain assigns the number.
     Stage& head = *stages_[0];
-    std::lock_guard<std::mutex> lock(head.mu);
+    sync::MutexLock lock(head.mu);
     head.queue.emplace_back(&req, 0);
   }
-  stages_[0]->cv.notify_one();
-  std::unique_lock<std::mutex> rlock(req.mu);
-  req.cv.wait(rlock, [&req] { return req.done; });
+  stages_[0]->cv.NotifyOne();
+  sync::MutexLock rlock(req.mu);
+  while (!req.done) {
+    req.cv.Wait(req.mu);
+  }
   return req.result;
 }
 
@@ -136,10 +140,10 @@ void ChainSequencerService::StageLoop(std::uint32_t index) {
   std::vector<std::pair<Request*, std::uint64_t>> batch;
   while (running_.load(std::memory_order_relaxed)) {
     {
-      std::unique_lock<std::mutex> lock(stage.mu);
-      stage.cv.wait(lock, [this, &stage] {
-        return !stage.queue.empty() || !running_.load(std::memory_order_relaxed);
-      });
+      sync::MutexLock lock(stage.mu);
+      while (stage.queue.empty() && running_.load(std::memory_order_relaxed)) {
+        stage.cv.Wait(stage.mu);
+      }
       batch.swap(stage.queue);
     }
     for (auto& [req, value] : batch) {
@@ -148,17 +152,17 @@ void ChainSequencerService::StageLoop(std::uint32_t index) {
       }
       stage.replicated_counter = value;  // every replica learns the number
       if (is_tail) {
-        std::lock_guard<std::mutex> rlock(req->mu);
+        sync::MutexLock rlock(req->mu);
         req->result = value;
         req->done = true;
-        req->cv.notify_one();
+        req->cv.NotifyOne();
       } else {
         Stage& next = *stages_[index + 1];
         {
-          std::lock_guard<std::mutex> lock(next.mu);
+          sync::MutexLock lock(next.mu);
           next.queue.emplace_back(req, value);
         }
-        next.cv.notify_one();
+        next.cv.NotifyOne();
       }
     }
     batch.clear();

@@ -17,12 +17,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/sync.h"
 
 namespace eunomia::seq {
 
@@ -46,17 +46,17 @@ class SequencerService {
 
  private:
   struct Request {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::uint64_t result = 0;
-    bool done = false;
+    sync::Mutex mu{"SequencerService::Request::mu", sync::kRankSeqRequest};
+    sync::CondVar cv;
+    std::uint64_t result GUARDED_BY(mu) = 0;
+    bool done GUARDED_BY(mu) = false;
   };
 
   void ServerLoop();
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::vector<Request*> queue_;
+  sync::Mutex queue_mu_{"SequencerService::queue_mu_", sync::kRankSeqStage};
+  sync::CondVar queue_cv_;
+  std::vector<Request*> queue_ GUARDED_BY(queue_mu_);
   std::thread server_;
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> counter_{0};
@@ -82,18 +82,19 @@ class ChainSequencerService {
 
  private:
   struct Request {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::uint64_t result = 0;
-    bool done = false;
+    sync::Mutex mu{"ChainSequencerService::Request::mu",
+                   sync::kRankSeqRequest};
+    sync::CondVar cv;
+    std::uint64_t result GUARDED_BY(mu) = 0;
+    bool done GUARDED_BY(mu) = false;
   };
 
   struct Stage {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::vector<std::pair<Request*, std::uint64_t>> queue;
+    sync::Mutex mu{"ChainSequencerService::Stage::mu", sync::kRankSeqStage};
+    sync::CondVar cv;
+    std::vector<std::pair<Request*, std::uint64_t>> queue GUARDED_BY(mu);
     std::thread thread;
-    std::uint64_t replicated_counter = 0;  // chain-replicated state
+    std::uint64_t replicated_counter = 0;  // owning stage thread only
   };
 
   void StageLoop(std::uint32_t index);

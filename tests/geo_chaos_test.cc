@@ -531,6 +531,9 @@ TEST(GeoNodeTcp, PeerDeathReconnectCatchUp) {
 
   node0->Stop();
   node1->Stop();
+  // Break the writer chain's self-reference cycle (the function captures
+  // the shared_ptr that owns it) now that both event loops are joined.
+  *issue = nullptr;
 }
 
 }  // namespace

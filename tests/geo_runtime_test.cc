@@ -622,11 +622,16 @@ TEST(GeoRuntimeTcpE2e, ConcurrentLoadFromAllDatacentersConverges) {
   constexpr int kOpsPerClient = 25;
   std::atomic<int> completed{0};
   // Two chained clients per datacenter, disjoint key ranges per client so
-  // every written key has a deterministic final value.
+  // every written key has a deterministic final value. Each chain's driver
+  // function captures a shared_ptr to itself to stay alive across hops;
+  // that self-reference is a cycle, broken explicitly once the chains have
+  // completed (the `*issue = nullptr` below) or the pair would leak.
+  std::vector<std::shared_ptr<std::function<void(int)>>> issues;
   for (DatacenterId m = 0; m < 3; ++m) {
     for (int c = 0; c < 2; ++c) {
       const ClientId client = m * 10 + c;
       auto issue = std::make_shared<std::function<void(int)>>();
+      issues.push_back(issue);
       *issue = [&, client, m, c, issue](int i) {
         if (i >= kOpsPerClient) {
           return;
@@ -654,6 +659,11 @@ TEST(GeoRuntimeTcpE2e, ConcurrentLoadFromAllDatacentersConverges) {
         << "dc" << d;
   }
   EXPECT_EQ(completed.load(), total);
+  // Every chain has issued its last callback; break the self-reference
+  // cycles so the drivers (and their captures) are reclaimed.
+  for (auto& issue : issues) {
+    *issue = nullptr;
+  }
   // Identical contents everywhere.
   auto snapshot = [&](DatacenterId d) {
     std::map<Key, std::pair<Value, std::vector<Timestamp>>> contents;

@@ -4,6 +4,7 @@
 // the stable stream received over real TCP sockets is bit-for-bit identical
 // to a LoopbackTransport run with the same input.
 #include <gtest/gtest.h>
+#include "src/common/sync.h"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -14,7 +15,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -67,11 +67,11 @@ WorkloadResult RunInterleavedWorkload(Transport& transport,
     return result;
   }
 
-  std::mutex mu;
+  eunomia::sync::Mutex mu{"net_test::mu", eunomia::sync::kRankLeaf};
   EunomiaClient::Options sub_options;
   sub_options.subscribe = true;
   sub_options.on_stable = [&](const std::vector<OpRecord>& ops) {
-    std::lock_guard<std::mutex> lock(mu);
+    eunomia::sync::MutexLock lock(mu);
     result.stable.insert(result.stable.end(), ops.begin(), ops.end());
   };
   EunomiaClient subscriber(&transport, address, sub_options);
@@ -338,13 +338,13 @@ TEST(NetE2eTest, OversizedBatchesAreChunkedIntoMultipleFrames) {
   const std::string address = server.Start("svc");
   ASSERT_FALSE(address.empty());
 
-  std::mutex mu;
+  eunomia::sync::Mutex mu{"net_test::mu", eunomia::sync::kRankLeaf};
   std::vector<OpRecord> stable;
   std::size_t stable_batches = 0;
   EunomiaClient::Options sub_options;
   sub_options.subscribe = true;
   sub_options.on_stable = [&](const std::vector<OpRecord>& ops) {
-    std::lock_guard<std::mutex> lock(mu);
+    eunomia::sync::MutexLock lock(mu);
     stable.insert(stable.end(), ops.begin(), ops.end());
     ++stable_batches;
     EXPECT_LE(ops.size(), 8u);  // the server-side frame cap held
@@ -367,7 +367,7 @@ TEST(NetE2eTest, OversizedBatchesAreChunkedIntoMultipleFrames) {
   ASSERT_TRUE(WaitUntil([&] { return subscriber.stable_ops_received() >= 500; }));
   EXPECT_FALSE(subscriber.stream_broken());
   {
-    std::lock_guard<std::mutex> lock(mu);
+    eunomia::sync::MutexLock lock(mu);
     ASSERT_EQ(stable.size(), 500u);
     EXPECT_GE(stable_batches, 63u);  // 500 ops / 8-op frames
     for (std::size_t i = 1; i < stable.size(); ++i) {

@@ -1,10 +1,10 @@
 // Tests for the native sequencer services (the §7.1 baseline): monotonic
 // grants under concurrency and chain replication behaviour.
 #include <gtest/gtest.h>
+#include "src/common/sync.h"
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -83,7 +83,7 @@ TEST(ChainSequencerServiceTest, ConcurrentClientsThroughChain) {
   constexpr int kThreads = 4;
   constexpr int kPerThread = 250;
   std::vector<std::uint64_t> all;
-  std::mutex mu;
+  eunomia::sync::Mutex mu{"sequencer_service_test::mu", eunomia::sync::kRankLeaf};
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&] {
@@ -91,7 +91,7 @@ TEST(ChainSequencerServiceTest, ConcurrentClientsThroughChain) {
       for (int i = 0; i < kPerThread; ++i) {
         mine.push_back(service.Next());
       }
-      std::lock_guard<std::mutex> lock(mu);
+      eunomia::sync::MutexLock lock(mu);
       all.insert(all.end(), mine.begin(), mine.end());
     });
   }

@@ -1,11 +1,11 @@
 // Tests for the native multithreaded Eunomia services (§6) and the leader
 // detector. These use real threads with short wall-clock budgets.
 #include <gtest/gtest.h>
+#include "src/common/sync.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -34,12 +34,12 @@ std::vector<OpRecord> MakeBatch(PartitionId p, Timestamp start, int n) {
 
 TEST(EunomiaServiceTest, StabilizesSubmittedOpsInOrder) {
   std::vector<Timestamp> emitted;
-  std::mutex mu;
+  eunomia::sync::Mutex mu{"service_test::mu", eunomia::sync::kRankLeaf};
   EunomiaService::Options options;
   options.num_partitions = 2;
   options.stable_period_us = 200;
   options.sink = [&](const std::vector<OpRecord>& ops) {
-    std::lock_guard<std::mutex> lock(mu);
+    eunomia::sync::MutexLock lock(mu);
     for (const OpRecord& op : ops) {
       emitted.push_back(op.ts);
     }
@@ -58,7 +58,7 @@ TEST(EunomiaServiceTest, StabilizesSubmittedOpsInOrder) {
   }
   service.Stop();
   EXPECT_EQ(service.ops_stabilized(), 100u);
-  std::lock_guard<std::mutex> lock(mu);
+  eunomia::sync::MutexLock lock(mu);
   ASSERT_EQ(emitted.size(), 100u);
   for (std::size_t i = 1; i < emitted.size(); ++i) {
     EXPECT_LE(emitted[i - 1], emitted[i]);
@@ -152,13 +152,13 @@ TEST(EunomiaServiceTest, StopFlushesOpsStagedBehindTheGlobalMinGate) {
   // must be delivered on Stop, not destroyed — the unsharded service
   // delivered everything it extracted.
   std::vector<Timestamp> emitted;
-  std::mutex mu;
+  eunomia::sync::Mutex mu{"service_test::mu", eunomia::sync::kRankLeaf};
   EunomiaService::Options options;
   options.num_partitions = 4;  // shard 0 owns {0,1}, shard 1 owns {2,3}
   options.num_shards = 2;
   options.stable_period_us = 200;
   options.sink = [&](const std::vector<OpRecord>& ops) {
-    std::lock_guard<std::mutex> lock(mu);
+    eunomia::sync::MutexLock lock(mu);
     for (const OpRecord& op : ops) {
       emitted.push_back(op.ts);
     }
@@ -181,7 +181,7 @@ TEST(EunomiaServiceTest, StopFlushesOpsStagedBehindTheGlobalMinGate) {
   EXPECT_EQ(service.ops_stabilized(), 0u);
   service.Stop();
   EXPECT_EQ(service.ops_stabilized(), 10u);
-  std::lock_guard<std::mutex> lock(mu);
+  eunomia::sync::MutexLock lock(mu);
   ASSERT_EQ(emitted.size(), 10u);
   EXPECT_TRUE(std::is_sorted(emitted.begin(), emitted.end()));
 }
@@ -223,13 +223,13 @@ TEST(EunomiaServicePropertyTest, ShardedEmissionMatchesUnsharded) {
 
   auto run = [&](std::uint32_t num_shards) {
     std::vector<OpRecord> emitted;
-    std::mutex mu;
+    eunomia::sync::Mutex mu{"service_test::mu", eunomia::sync::kRankLeaf};
     EunomiaService::Options options;
     options.num_partitions = kPartitions;
     options.num_shards = num_shards;
     options.stable_period_us = 100;
     options.sink = [&](const std::vector<OpRecord>& ops) {
-      std::lock_guard<std::mutex> lock(mu);
+      eunomia::sync::MutexLock lock(mu);
       emitted.insert(emitted.end(), ops.begin(), ops.end());
     };
     EunomiaService service(options);
@@ -249,7 +249,7 @@ TEST(EunomiaServicePropertyTest, ShardedEmissionMatchesUnsharded) {
     service.Stop();
     EXPECT_EQ(service.ops_stabilized(), total_ops)
         << "num_shards=" << num_shards;
-    std::lock_guard<std::mutex> lock(mu);
+    eunomia::sync::MutexLock lock(mu);
     return emitted;
   };
 

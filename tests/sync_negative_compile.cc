@@ -1,0 +1,47 @@
+// Negative-compile checks for the thread-safety annotations. This file must
+// FAIL to compile under clang with -Werror=thread-safety-analysis when
+// EUNOMIA_NEGATIVE_COMPILE is defined; CI builds it and asserts the failure
+// (scripts/check_analysis.sh, "negative-compile" step). Without the macro it
+// compiles to an empty TU so stray builds of the target stay harmless.
+//
+// Each case is a distinct macro so the driver can probe them one at a time:
+//   EUNOMIA_NEGATIVE_COMPILE=1  unguarded write to a GUARDED_BY field
+//   EUNOMIA_NEGATIVE_COMPILE=2  calling a REQUIRES method without the lock
+//   EUNOMIA_NEGATIVE_COMPILE=3  double-acquire of a non-reentrant Mutex
+
+#include "src/common/sync.h"
+
+#ifdef EUNOMIA_NEGATIVE_COMPILE
+
+namespace eunomia::sync {
+namespace {
+
+struct Counter {
+  Mutex mu{"negative::mu", kRankLeaf};
+  int value GUARDED_BY(mu) = 0;
+
+  void Bump() REQUIRES(mu) { ++value; }
+};
+
+#if EUNOMIA_NEGATIVE_COMPILE == 1
+void UnguardedWrite(Counter& c) {
+  c.value = 7;  // no lock held: -Wthread-safety must reject this
+}
+#elif EUNOMIA_NEGATIVE_COMPILE == 2
+void RequiresWithoutLock(Counter& c) {
+  c.Bump();  // REQUIRES(mu) but mu is not held
+}
+#elif EUNOMIA_NEGATIVE_COMPILE == 3
+void DoubleAcquire(Counter& c) {
+  MutexLock a(c.mu);
+  c.mu.Lock();  // acquiring a capability already held
+  c.mu.Unlock();
+}
+#else
+#error "EUNOMIA_NEGATIVE_COMPILE must be 1, 2, or 3"
+#endif
+
+}  // namespace
+}  // namespace eunomia::sync
+
+#endif  // EUNOMIA_NEGATIVE_COMPILE

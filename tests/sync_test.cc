@@ -1,0 +1,180 @@
+// Tests for the annotated locking API (src/common/sync.h): the lock-rank
+// deadlock detector's abort paths (death tests), rank-exempt mutexes, and
+// MutexLock RAII under early release and exceptions.
+//
+// The thread-safety annotations themselves are compile-time only; their
+// negative test is tests/sync_negative_compile.cc, built (and required to
+// FAIL to compile) by the clang job in CI.
+
+#include "src/common/sync.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace eunomia::sync {
+namespace {
+
+#if EUNOMIA_LOCK_RANK_CHECKS
+
+using SyncDeathTest = ::testing::Test;
+
+// Acquiring a lower-ranked mutex while holding a higher-ranked one is the
+// canonical inversion: if another thread takes them in the documented order,
+// the two can deadlock. The detector must abort and name both locks.
+TEST(SyncDeathTest, RankInversionAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex outer("death::outer", kRankConnSend);     // rank 800
+        Mutex inner("death::inner", kRankTransport);    // rank 200
+        MutexLock hold(outer);
+        MutexLock bad(inner);  // 200 after 800: inversion
+      },
+      "lock-rank violation.*death::inner.*death::outer|"
+      "lock-rank violation.*death::outer.*death::inner");
+}
+
+// Equal ranks are also refused: two same-rank mutexes taken in both orders
+// by two threads deadlock exactly like an inversion, so nesting within a
+// rank is only legal for kRankExempt.
+TEST(SyncDeathTest, EqualRankNestingAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex a("death::a", kRankLeaf);
+        Mutex b("death::b", kRankLeaf);
+        MutexLock hold(a);
+        MutexLock bad(b);
+      },
+      "lock-rank violation");
+}
+
+// Unlocking a mutex the thread does not hold is always a bug (it corrupts
+// the underlying std::mutex); the debug build catches it.
+TEST(SyncDeathTest, ReleaseNotHeldAborts) {
+  EXPECT_DEATH(
+      {
+        Mutex mu("death::not_held", kRankLeaf);
+        mu.Unlock();
+      },
+      "releasing.*not held");
+}
+
+// Ascending acquisition across every band of the rank table is the sanctioned
+// pattern and must pass the checker silently.
+TEST(SyncTest, AscendingRanksAreAccepted) {
+  Mutex lifecycle("ok::lifecycle", kRankLifecycle);
+  Mutex emit("ok::emit", kRankFanoutEmit);
+  Mutex conn("ok::conn", kRankConnQueue);
+  Mutex leaf("ok::leaf", kRankLeaf);
+  MutexLock l1(lifecycle);
+  MutexLock l2(emit);
+  MutexLock l3(conn);
+  MutexLock l4(leaf);
+}
+
+// kRankExempt opts a mutex out of ordering entirely: it may be taken while
+// holding anything, and anything may be taken while holding it. Distinct
+// mutex pairs per direction — inverting one pair would trip TSan's own
+// lock-order graph when the suite runs under -fsanitize=thread.
+TEST(SyncTest, RankExemptMutexNestsFreely) {
+  Mutex ranked_outer("ok::ranked_outer", kRankLeaf);
+  Mutex exempt_inner("ok::exempt_inner", kRankExempt);
+  {
+    MutexLock l1(ranked_outer);
+    MutexLock l2(exempt_inner);  // below-rank acquisition: fine, exempt
+  }
+  Mutex exempt_outer("ok::exempt_outer", kRankExempt);
+  Mutex ranked_inner("ok::ranked_inner", kRankLeaf);
+  {
+    MutexLock l1(exempt_outer);
+    MutexLock l2(ranked_inner);  // and the other way around
+  }
+}
+
+// Releasing out of acquisition order (hand-over-hand style) is legal; the
+// held-lock bookkeeping must tolerate popping from the middle of the stack.
+TEST(SyncTest, OutOfOrderReleaseIsAccepted) {
+  Mutex a("ok::a", kRankTransport);
+  Mutex b("ok::b", kRankLeaf);
+  a.Lock();
+  b.Lock();
+  a.Unlock();  // released before b, though acquired before it
+  b.Unlock();
+}
+
+#endif  // EUNOMIA_LOCK_RANK_CHECKS
+
+TEST(SyncTest, MutexLockReleasesOnException) {
+  Mutex mu("ok::exception", kRankLeaf);
+  try {
+    MutexLock lock(mu);
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  // If the guard leaked the lock this TryLock would fail (and the later
+  // destructor would abort the process).
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SyncTest, MutexLockEarlyUnlock) {
+  Mutex mu("ok::early", kRankLeaf);
+  MutexLock lock(mu);
+  lock.Unlock();
+  // The mutex is free again; the guard's destructor must not release twice.
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(SyncTest, TryLockContended) {
+  Mutex mu("ok::contended", kRankLeaf);
+  mu.Lock();
+  std::thread other([&mu] { EXPECT_FALSE(mu.TryLock()); });
+  other.join();
+  mu.Unlock();
+}
+
+TEST(SyncTest, CondVarWakesWaiter) {
+  Mutex mu("ok::cv", kRankLeaf);
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(mu);
+    while (!ready) {
+      cv.Wait(mu);
+    }
+    EXPECT_TRUE(ready);
+  }
+  waker.join();
+}
+
+TEST(SyncTest, CondVarWaitForTimesOut) {
+  Mutex mu("ok::cv_timeout", kRankLeaf);
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto status = cv.WaitFor(mu, std::chrono::milliseconds(1));
+  EXPECT_EQ(status, std::cv_status::timeout);
+}
+
+// The rank stack is per thread: two threads may hold same-rank (or
+// descending-rank) mutexes simultaneously without tripping the detector,
+// because the hazard it guards against is ordering within one thread.
+TEST(SyncTest, RankStackIsPerThread) {
+  Mutex a("ok::thread_a", kRankLeaf);
+  Mutex b("ok::thread_b", kRankLeaf);
+  MutexLock hold(a);
+  std::thread other([&b] {
+    MutexLock lock(b);  // same rank as a, but a different thread holds a
+  });
+  other.join();
+}
+
+}  // namespace
+}  // namespace eunomia::sync
