@@ -66,6 +66,12 @@ struct SweepResult {
   std::uint64_t crashes = 0;
   std::uint64_t payloads_dropped = 0;
   std::uint64_t plants_fired = 0;
+  // Schedules that ran in durable mode (WAL+snapshot recovery with disk
+  // faults instead of environment replay), and the disk faults that fired.
+  std::uint64_t durable_seeds = 0;
+  std::uint64_t wal_torn_tails = 0;
+  std::uint64_t wal_bit_flips = 0;
+  std::uint64_t snapshots_taken = 0;
   std::vector<std::uint64_t> violating_seeds;
 };
 
@@ -84,6 +90,12 @@ SweepResult RunSweep(std::uint64_t base_seed, std::uint64_t count,
     result.crashes += report.faults.crashes;
     result.payloads_dropped += report.faults.payloads_dropped;
     result.plants_fired += report.faults.plants_fired;
+    if (report.durable) {
+      ++result.durable_seeds;
+      result.wal_torn_tails += report.wal_torn_tails;
+      result.wal_bit_flips += report.wal_bit_flips;
+      result.snapshots_taken += report.snapshots_taken;
+    }
     if (!report.ok()) {
       result.violating_seeds.push_back(s);
       std::printf(
@@ -429,12 +441,18 @@ void WriteBenchJson(const char* path, bool smoke, const SweepResult& sweep,
                "\"nemesis-sweep\", \"transport\": \"sim\", \"ops_per_s\": "
                "%.1f, \"seeds\": %llu, \"violating_seeds\": %zu, "
                "\"updates_acked\": %llu, \"crashes\": %llu, "
-               "\"payloads_dropped\": %llu}%s\n",
+               "\"payloads_dropped\": %llu, \"durable_seeds\": %llu, "
+               "\"wal_torn_tails\": %llu, \"wal_bit_flips\": %llu, "
+               "\"snapshots\": %llu}%s\n",
                sweep_rate, static_cast<unsigned long long>(sweep.seeds_run),
                sweep.violating_seeds.size(),
                static_cast<unsigned long long>(sweep.updates_acked),
                static_cast<unsigned long long>(sweep.crashes),
                static_cast<unsigned long long>(sweep.payloads_dropped),
+               static_cast<unsigned long long>(sweep.durable_seeds),
+               static_cast<unsigned long long>(sweep.wal_torn_tails),
+               static_cast<unsigned long long>(sweep.wal_bit_flips),
+               static_cast<unsigned long long>(sweep.snapshots_taken),
                tcp.ran ? "," : "");
   if (tcp.ran) {
     double max_gap_ms = 0.0;
@@ -484,6 +502,17 @@ int Run(const bench::Flags& flags) {
   chaos::NemesisOptions proto;
   proto.smoke = smoke;
   proto.plant = plant;
+  const std::string durability = flags.Get("durability", "draw");
+  if (durability == "draw") {
+    proto.durability = -1;
+  } else if (durability == "off") {
+    proto.durability = 0;
+  } else if (durability == "on") {
+    proto.durability = 1;
+  } else {
+    std::fprintf(stderr, "bad --durability (use draw, off or on)\n");
+    return 2;
+  }
 
   std::printf(
       "nemesis sweep: %llu schedule(s) from seed %llu (%s mode, plant=%s)\n"
@@ -502,14 +531,20 @@ int Run(const bench::Flags& flags) {
   std::printf(
       "\n%llu seed(s) in %.1fs: %llu updates acked, %llu reads, %llu "
       "crashes, %llu payloads dropped+reshipped, %llu plants fired, "
-      "%zu violating seed(s)\n",
+      "%zu violating seed(s)\n"
+      "%llu durable seed(s): %llu snapshot(s), %llu torn tail(s), %llu "
+      "bit flip(s) injected on recovery disks\n",
       static_cast<unsigned long long>(sweep.seeds_run), sweep_wall_s,
       static_cast<unsigned long long>(sweep.updates_acked),
       static_cast<unsigned long long>(sweep.reads_done),
       static_cast<unsigned long long>(sweep.crashes),
       static_cast<unsigned long long>(sweep.payloads_dropped),
       static_cast<unsigned long long>(sweep.plants_fired),
-      sweep.violating_seeds.size());
+      sweep.violating_seeds.size(),
+      static_cast<unsigned long long>(sweep.durable_seeds),
+      static_cast<unsigned long long>(sweep.snapshots_taken),
+      static_cast<unsigned long long>(sweep.wal_torn_tails),
+      static_cast<unsigned long long>(sweep.wal_bit_flips));
 
   bool ok = true;
   if (expect_violation) {
@@ -540,7 +575,8 @@ int Run(const bench::Flags& flags) {
 int main(int argc, char** argv) {
   eunomia::bench::Flags flags(
       argc, argv,
-      {"seeds", "seed", "smoke", "plant", "expect-violation", "no-tcp", "log"});
+      {"seeds", "seed", "smoke", "plant", "expect-violation", "no-tcp", "log",
+       "durability"});
   if (!flags.ok()) {
     return flags.FailUsage();
   }

@@ -18,19 +18,39 @@
 //   --period-us=N      stabilization fallback period (default 500)
 //   --ft               fault-tolerant service (replicated, Alg. 4)
 //   --replicas=N       FT replica count     (default 3)
+//   --data-dir=PATH    write-ahead-log directory (non-FT only). The service
+//                      logs every accepted batch before acking and recovers
+//                      from the directory on startup, so a kill -9'd daemon
+//                      restarted on the same directory loses no acked op.
+//   --fsync=POLICY     commit | interval | off  (default commit; needs
+//                      --data-dir)
+//   --addr-file=PATH   write the bound address to PATH once listening
+//                      (ephemeral-port orchestration, used by --crash-smoke)
 //   --smoke            self-drive: bind an ephemeral port, run a small
 //                      multi-connection workload through net::EunomiaClient
 //                      over real sockets, verify the stable stream arrives
 //                      complete and in order, exit 0/1. Used by ctest/CI.
+//   --crash-smoke      durability self-test: re-exec this binary as a durable
+//                      child server, ack a write wave, SIGKILL the child
+//                      mid-run, restart it on the same data dir and verify
+//                      every acked op comes back on the stable stream.
 //
 // The daemon runs until SIGINT/SIGTERM, printing a stats line every few
 // seconds (connections, ops received, ops stabilized).
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 #include "src/common/sync.h"
 
@@ -39,6 +59,8 @@
 #include "src/net/eunomia_server.h"
 #include "src/net/tcp_transport.h"
 #include "src/ordbuf/ordered_buffer.h"
+#include "src/wal/disk.h"
+#include "src/wal/log_writer.h"
 
 namespace {
 
@@ -159,15 +181,306 @@ int RunSmoke(eunomia::net::EunomiaServer::Options options) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// --crash-smoke: the kill -9 end-to-end. The parent re-execs this binary as
+// a durable child server (--data-dir on a fresh temp directory,
+// --fsync=commit), then:
+//
+//   1. submits a write wave to partition 0 only and waits for the acks —
+//      under fsync=commit an acked batch is on disk. Partition 1 never
+//      receives an op or heartbeat, so NOTHING stabilizes: the stable stream
+//      stays empty, pre-crash and right after recovery, until the parent
+//      says so. That makes the verification race-free — a subscriber
+//      connected after the restart cannot miss re-emitted ops.
+//   2. starts a churn client hammering more (unacked) batches and SIGKILLs
+//      the child mid-stream — a genuine kill -9, no flush, no warning.
+//   3. respawns the child on the same data dir, subscribes, and only then
+//      heartbeats both partitions past every wave: recovery must re-emit
+//      every acked wave-1 op (the WAL is the only place they still exist),
+//      followed by a live wave-2 proving the restarted service still serves.
+//
+// Checks: every acked op arrives, nothing arrives that was never submitted,
+// and the stream is strictly (ts, partition) ordered.
+
+std::string SelfExe() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    return {};
+  }
+  buf[n] = '\0';
+  return buf;
+}
+
+pid_t SpawnDurableServer(const std::string& exe, const std::string& data_dir,
+                         const std::string& addr_file) {
+  const pid_t pid = fork();
+  if (pid != 0) {
+    return pid;
+  }
+  prctl(PR_SET_PDEATHSIG, SIGKILL);  // no orphaned servers if the parent dies
+  const std::string data_dir_arg = "--data-dir=" + data_dir;
+  const std::string addr_file_arg = "--addr-file=" + addr_file;
+  execl(exe.c_str(), exe.c_str(), "--port=0", "--partitions=2",
+        "--period-us=200", "--fsync=commit", data_dir_arg.c_str(),
+        addr_file_arg.c_str(), static_cast<char*>(nullptr));
+  _exit(127);
+}
+
+// Polls for the child's atomically-renamed address file. Empty on timeout or
+// child death.
+std::string AwaitAddress(const std::string& addr_file, pid_t child) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    int status = 0;
+    if (waitpid(child, &status, WNOHANG) == child) {
+      return {};
+    }
+    if (std::FILE* f = std::fopen(addr_file.c_str(), "r")) {
+      char buf[256] = {};
+      const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+      std::fclose(f);
+      std::string address(buf, n);
+      while (!address.empty() &&
+             (address.back() == '\n' || address.back() == '\r')) {
+        address.pop_back();
+      }
+      if (!address.empty()) {
+        return address;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return {};
+}
+
+// Submits `kBatches` batches to `partition` starting above `base`; records
+// every op key into `submitted`. Waits for all acks.
+constexpr std::uint32_t kCrashBatches = 10;
+constexpr std::uint32_t kCrashOpsPerBatch = 50;
+
+bool SubmitAckedWave(eunomia::net::TcpTransport* transport,
+                     const std::string& address, eunomia::PartitionId partition,
+                     eunomia::Timestamp base,
+                     std::set<eunomia::OpOrderKey>* submitted) {
+  using namespace eunomia;
+  net::EunomiaClient client(transport, address, {});
+  if (!client.Connect()) {
+    return false;
+  }
+  for (std::uint32_t b = 0; b < kCrashBatches; ++b) {
+    std::vector<OpRecord> batch;
+    for (std::uint32_t i = 0; i < kCrashOpsPerBatch; ++i) {
+      const Timestamp ts = base + b * kCrashOpsPerBatch + i + 1;
+      batch.push_back(OpRecord{ts, partition, ts, b});
+      submitted->insert(OpOrderKey{ts, partition});
+    }
+    if (!client.SubmitBatch(partition, std::move(batch))) {
+      return false;
+    }
+  }
+  const bool acked = client.WaitForAcks();
+  client.Close();
+  return acked;
+}
+
+int RunCrashSmoke() {
+  using namespace eunomia;
+  const std::string exe = SelfExe();
+  if (exe.empty()) {
+    std::fprintf(stderr, "eunomiad --crash-smoke: readlink(/proc/self/exe)\n");
+    return 1;
+  }
+  char dir_template[] = "/tmp/eunomiad-crash-XXXXXX";
+  if (mkdtemp(dir_template) == nullptr) {
+    std::fprintf(stderr, "eunomiad --crash-smoke: mkdtemp failed\n");
+    return 1;
+  }
+  const std::string data_dir = dir_template;
+  const std::string addr_file = data_dir + "/address";
+  auto cleanup = [&] {
+    std::error_code ec;
+    std::filesystem::remove_all(data_dir, ec);
+  };
+
+  pid_t child = SpawnDurableServer(exe, data_dir, addr_file);
+  std::string address = AwaitAddress(addr_file, child);
+  if (address.empty()) {
+    std::fprintf(stderr, "eunomiad --crash-smoke: child never came up\n");
+    cleanup();
+    return 1;
+  }
+  std::printf("eunomiad --crash-smoke: durable child pid %d on %s (%s)\n",
+              static_cast<int>(child), address.c_str(), data_dir.c_str());
+
+  // Wave 1: acked ops on partition 0 only. Partition 1 stays silent, so the
+  // stable frontier is pinned at 0 until the post-restart heartbeats.
+  net::TcpTransport transport;
+  std::set<OpOrderKey> wave1;
+  if (!SubmitAckedWave(&transport, address, /*partition=*/0, /*base=*/0,
+                       &wave1)) {
+    std::fprintf(stderr, "eunomiad --crash-smoke: wave 1 failed\n");
+    cleanup();
+    return 1;
+  }
+
+  // Churn: more partition-0 batches in flight, deliberately never awaited —
+  // the kill lands mid-stream. Whatever subset reached the log may
+  // legitimately reappear after recovery; none of it is *required* to.
+  const Timestamp churn_base = 100'000;
+  std::set<OpOrderKey> churn;
+  std::thread churn_thread([&] {
+    net::EunomiaClient client(&transport, address, {});
+    if (!client.Connect()) {
+      return;
+    }
+    for (std::uint32_t b = 0; b < kCrashBatches; ++b) {
+      std::vector<OpRecord> batch;
+      for (std::uint32_t i = 0; i < kCrashOpsPerBatch; ++i) {
+        const Timestamp ts = churn_base + b * kCrashOpsPerBatch + i + 1;
+        batch.push_back(OpRecord{ts, 0, ts, b});
+      }
+      if (!client.SubmitBatch(0, std::move(batch))) {
+        break;  // expected once the child dies
+      }
+    }
+    client.Close();
+  });
+  for (std::uint32_t k = 1; k <= kCrashBatches * kCrashOpsPerBatch; ++k) {
+    churn.insert(OpOrderKey{churn_base + k, 0});
+  }
+
+  kill(child, SIGKILL);
+  int status = 0;
+  waitpid(child, &status, 0);
+  churn_thread.join();
+  std::remove(addr_file.c_str());
+  std::printf("eunomiad --crash-smoke: killed -9 mid-churn, respawning on the "
+              "same data dir\n");
+
+  child = SpawnDurableServer(exe, data_dir, addr_file);
+  address = AwaitAddress(addr_file, child);
+  if (address.empty()) {
+    std::fprintf(stderr,
+                 "eunomiad --crash-smoke: child did not recover/restart\n");
+    cleanup();
+    return 1;
+  }
+
+  // Subscribe first, release the frontier second: every recovered op is
+  // re-emitted after this subscription exists.
+  eunomia::sync::Mutex mu{"eunomiad::crash_mu", eunomia::sync::kRankLeaf};
+  std::vector<OpRecord> stable;
+  net::EunomiaClient::Options sub_options;
+  sub_options.subscribe = true;
+  sub_options.on_stable = [&](const std::vector<OpRecord>& ops) {
+    eunomia::sync::MutexLock lock(mu);
+    stable.insert(stable.end(), ops.begin(), ops.end());
+  };
+  net::EunomiaClient subscriber(&transport, address, sub_options);
+  if (!subscriber.Connect()) {
+    std::fprintf(stderr, "eunomiad --crash-smoke: subscriber reconnect\n");
+    cleanup();
+    return 1;
+  }
+
+  // Wave 2 (both partitions, above every wave-1/churn ts), then the
+  // frontier-releasing heartbeats.
+  const Timestamp wave2_base = 2'000'000;
+  std::set<OpOrderKey> wave2;
+  bool wave2_ok =
+      SubmitAckedWave(&transport, address, /*partition=*/0, wave2_base,
+                      &wave2) &&
+      SubmitAckedWave(&transport, address, /*partition=*/1,
+                      wave2_base + 50'000, &wave2);
+  {
+    net::EunomiaClient beater(&transport, address, {});
+    wave2_ok = wave2_ok && beater.Connect();
+    if (wave2_ok) {
+      beater.Heartbeat(0, 10'000'000);
+      beater.Heartbeat(1, 10'000'000);
+      wave2_ok = beater.WaitForAcks();
+      beater.Close();
+    }
+  }
+  if (!wave2_ok) {
+    std::fprintf(stderr, "eunomiad --crash-smoke: wave 2 failed\n");
+    cleanup();
+    return 1;
+  }
+
+  // Everything required must now arrive: wave 1 from the WAL, wave 2 live.
+  const std::uint64_t required = wave1.size() + wave2.size();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (subscriber.stable_ops_received() < required &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  bool ordered = true;
+  bool only_submitted = true;
+  std::set<OpOrderKey> seen;
+  {
+    eunomia::sync::MutexLock lock(mu);
+    for (std::size_t i = 0; i < stable.size(); ++i) {
+      const OpOrderKey key = OrderKeyOf(stable[i]);
+      if (i > 0 && !(OrderKeyOf(stable[i - 1]) < key)) {
+        ordered = false;
+      }
+      if (wave1.count(key) == 0 && wave2.count(key) == 0 &&
+          churn.count(key) == 0) {
+        only_submitted = false;
+      }
+      seen.insert(key);
+    }
+  }
+  auto contains_all = [&seen](const std::set<OpOrderKey>& want) {
+    for (const OpOrderKey& key : want) {
+      if (seen.count(key) == 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const bool wave1_recovered = contains_all(wave1);
+  const bool wave2_arrived = contains_all(wave2);
+  const bool stream_ok = !subscriber.stream_broken();
+  subscriber.Close();
+  kill(child, SIGKILL);
+  waitpid(child, &status, 0);
+  cleanup();
+
+  if (!wave1_recovered || !wave2_arrived || !ordered || !only_submitted ||
+      !stream_ok) {
+    std::fprintf(stderr,
+                 "eunomiad --crash-smoke: FAILED (wave1 recovered=%d, wave2=%d,"
+                 " ordered=%d, only_submitted=%d, stream intact=%d, seen=%zu)\n",
+                 wave1_recovered ? 1 : 0, wave2_arrived ? 1 : 0,
+                 ordered ? 1 : 0, only_submitted ? 1 : 0, stream_ok ? 1 : 0,
+                 seen.size());
+    return 1;
+  }
+  std::printf(
+      "eunomiad --crash-smoke: OK — all %zu acked pre-kill ops re-emitted "
+      "after kill -9 + recovery, %zu live ops followed, stream in order\n",
+      wave1.size(), wave2.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   eunomia::bench::Flags flags(
       argc, argv,
       {"host", "port", "partitions", "shards", "buffer", "period-us", "ft",
-       "replicas", "smoke"});
+       "replicas", "data-dir", "fsync", "addr-file", "smoke", "crash-smoke"});
   if (!flags.ok()) {
     return flags.FailUsage();
+  }
+  if (flags.Has("crash-smoke")) {
+    return RunCrashSmoke();
   }
   eunomia::net::EunomiaServer::Options options;
   options.fault_tolerant = flags.Has("ft");
@@ -182,6 +495,30 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "--buffer must be partition_run, rbtree or avl (got '%s')\n",
                  flags.Get("buffer", "partition_run").c_str());
+    return 2;
+  }
+  std::unique_ptr<eunomia::wal::PosixDisk> disk;
+  const std::string data_dir = flags.Get("data-dir", "");
+  if (!data_dir.empty()) {
+    if (options.fault_tolerant) {
+      std::fprintf(stderr, "--data-dir is not supported with --ft\n");
+      return 2;
+    }
+    disk = std::make_unique<eunomia::wal::PosixDisk>(data_dir);
+    if (!disk->ok()) {
+      std::fprintf(stderr, "eunomiad: cannot open --data-dir=%s\n",
+                   data_dir.c_str());
+      return 1;
+    }
+    options.durability.disk = disk.get();
+    if (!eunomia::wal::ParseFsyncPolicy(flags.Get("fsync", "commit"),
+                                        &options.durability.fsync)) {
+      std::fprintf(stderr, "--fsync must be commit, interval or off (got '%s')\n",
+                   flags.Get("fsync", "commit").c_str());
+      return 2;
+    }
+  } else if (flags.Has("fsync")) {
+    std::fprintf(stderr, "--fsync requires --data-dir\n");
     return 2;
   }
   if (flags.smoke()) {
@@ -199,10 +536,24 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  std::printf("eunomiad: serving %u partitions on %s (%s, %s)\n",
+  const std::string addr_file = flags.Get("addr-file", "");
+  if (!addr_file.empty()) {
+    // Temp-then-rename so a polling orchestrator never reads a partial write.
+    const std::string tmp = addr_file + ".tmp";
+    if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+      std::fprintf(f, "%s\n", bound.c_str());
+      std::fclose(f);
+      std::rename(tmp.c_str(), addr_file.c_str());
+    }
+  }
+  std::printf("eunomiad: serving %u partitions on %s (%s, %s%s%s)\n",
               options.num_partitions, bound.c_str(),
               options.fault_tolerant ? "fault-tolerant" : "sharded",
-              eunomia::ordbuf::BackendName(options.buffer_backend));
+              eunomia::ordbuf::BackendName(options.buffer_backend),
+              disk != nullptr ? ", wal fsync=" : "",
+              disk != nullptr
+                  ? eunomia::wal::FsyncPolicyName(options.durability.fsync)
+                  : "");
   std::uint64_t last_stabilized = 0;
   int tick = 0;
   while (g_stop == 0) {

@@ -17,6 +17,15 @@
 //   --listen=H:P     listen address                       (default 127.0.0.1:9100)
 //   --peers=A,B,...  peer addresses indexed by dc id; the self entry is
 //                    ignored (use "-"). Dials retry until every peer is up.
+//   --data-dir=PATH  write-ahead-log directory. The node logs every local
+//                    install and inbound metadata/payload before processing,
+//                    snapshots periodically, and recovers from the directory
+//                    on startup — a kill -9'd datacenter rejoins from its
+//                    own WAL with incremental catch-up from peers. Also
+//                    enables peer-history retention (replay to restarting
+//                    peers), truncated by their durable acks.
+//   --fsync=POLICY   commit | interval | off  (default commit; needs
+//                    --data-dir)
 //   --smoke          self-drive: spin up the whole multi-DC deployment
 //                    in-process over ephemeral TCP ports, run causally
 //                    chained clients at every datacenter, verify causal
@@ -222,8 +231,9 @@ int RunSmoke(std::uint32_t num_dcs, std::uint32_t partitions) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  eunomia::bench::Flags flags(
-      argc, argv, {"dc", "dcs", "partitions", "listen", "peers", "smoke"});
+  eunomia::bench::Flags flags(argc, argv,
+                              {"dc", "dcs", "partitions", "listen", "peers",
+                               "data-dir", "fsync", "smoke"});
   if (!flags.ok()) {
     return flags.FailUsage();
   }
@@ -243,10 +253,35 @@ int main(int argc, char** argv) {
   eunomia::geo::GeoConfig config;
   config.num_dcs = num_dcs;
   config.partitions_per_dc = partitions;
+  eunomia::geo::rt::GeoNode::Options node_options;
+  node_options.dc = dc;
+  node_options.config = config;
+  std::unique_ptr<eunomia::wal::PosixDisk> disk;
+  const std::string data_dir = flags.Get("data-dir", "");
+  if (!data_dir.empty()) {
+    disk = std::make_unique<eunomia::wal::PosixDisk>(data_dir);
+    if (!disk->ok()) {
+      std::fprintf(stderr, "georepd: cannot open --data-dir=%s\n",
+                   data_dir.c_str());
+      return 1;
+    }
+    node_options.durability_disk = disk.get();
+    if (!eunomia::wal::ParseFsyncPolicy(flags.Get("fsync", "commit"),
+                                        &node_options.fsync)) {
+      std::fprintf(stderr,
+                   "--fsync must be commit, interval or off (got '%s')\n",
+                   flags.Get("fsync", "commit").c_str());
+      return 2;
+    }
+    // Keep what we send until peers durably ack it — a restarting peer gets
+    // the gap replayed on reconnect.
+    node_options.retain_peer_history = true;
+  } else if (flags.Has("fsync")) {
+    std::fprintf(stderr, "--fsync requires --data-dir\n");
+    return 2;
+  }
   eunomia::net::TcpTransport transport;
-  eunomia::geo::rt::GeoNode node(&transport,
-                                 eunomia::geo::rt::GeoNode::Options{
-                                     dc, config, /*detailed_visibility=*/false});
+  eunomia::geo::rt::GeoNode node(&transport, node_options);
   const std::string bound =
       node.Listen(flags.Get("listen", "127.0.0.1:9100"));
   if (bound.empty()) {
@@ -254,8 +289,11 @@ int main(int argc, char** argv) {
                  flags.Get("listen", "127.0.0.1:9100").c_str());
     return 1;
   }
-  std::printf("georepd: dc%u serving %u partitions on %s\n", dc, partitions,
-              bound.c_str());
+  std::printf("georepd: dc%u serving %u partitions on %s%s%s\n", dc,
+              partitions, bound.c_str(),
+              disk != nullptr ? ", wal fsync=" : "",
+              disk != nullptr ? eunomia::wal::FsyncPolicyName(node_options.fsync)
+                              : "");
 
   const std::vector<std::string> peers = SplitCsv(flags.Get("peers", ""));
   std::signal(SIGINT, HandleSignal);

@@ -105,6 +105,9 @@ inline constexpr LockRank kRankBatchPool = 730;     // batch free-list
 inline constexpr LockRank kRankConnSend = 800;      // Connection::send_mu_
 inline constexpr LockRank kRankConnQueue = 810;     // per-conn in/outboxes
 inline constexpr LockRank kRankSeqRequest = 900;    // blocking RPC requests
+inline constexpr LockRank kRankWalSnapshot = 920;   // ServiceWal snapshot queue
+inline constexpr LockRank kRankWalWriter = 930;     // wal::LogWriter queue
+inline constexpr LockRank kRankWalDisk = 940;       // wal::MemDisk file map
 inline constexpr LockRank kRankLeaf = 1000;         // sinks, probes, stats
 
 class Mutex;

@@ -77,11 +77,35 @@ EunomiaService::EunomiaService(Options options) : options_(std::move(options)) {
     }
     first += count;
   }
-  // No pipeline threads exist yet, but the analysis (rightly) has no notion
-  // of "before Start": take the lock.
-  sync::MutexLock lock(merge_.mu);
-  merge_.shard_stable.assign(shards, 0);
-  merge_.staged.resize(shards);
+  {
+    // No pipeline threads exist yet, but the analysis (rightly) has no
+    // notion of "before Start": take the lock.
+    sync::MutexLock lock(merge_.mu);
+    merge_.shard_stable.assign(shards, 0);
+    merge_.staged.resize(shards);
+  }
+  if (options_.durability.disk != nullptr) {
+    wal_ = std::make_unique<ServiceWal>(partitions, options_.durability);
+    ServiceWal::Recovered recovered = wal_->Recover();
+    wal_suppress_mark_ = recovered.stable_mark;
+    recovered_torn_tail_ = recovered.any_torn_tail;
+    // Replay the accepted pre-crash inputs straight into the shard cores —
+    // no pipeline threads exist yet, and going through SubmitBatch would
+    // re-log records that are already on disk. Emission of the replayed ops
+    // resumes once heartbeats/submissions advance the stable frontier; the
+    // merge thread suppresses the prefix the snapshot already covered.
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+      Shard& shard = *shards_[shard_of_partition_[p]];
+      for (auto& batch : recovered.batches[p]) {
+        shard.core.AddBatch(batch);
+      }
+      if (recovered.heartbeats[p] > 0) {
+        shard.core.Heartbeat(p, recovered.heartbeats[p]);
+        shard.last_forwarded_hb[p - shard.first_partition] =
+            recovered.heartbeats[p];
+      }
+    }
+  }
 }
 
 EunomiaService::~EunomiaService() { Stop(); }
@@ -127,12 +151,26 @@ void EunomiaService::Stop() {
   if (merge_thread_.joinable()) {
     merge_thread_.join();
   }
+  if (wal_) {
+    // Clean shutdown: everything accepted is made durable regardless of the
+    // fsync policy. A kill -9 never reaches this line — that is the point.
+    wal_->Flush();
+  }
 }
 
 void EunomiaService::SubmitBatch(PartitionId partition, std::vector<OpRecord> batch) {
   assert(partition < inboxes_.size());
   if (!running_.load(std::memory_order_relaxed)) {
     return;  // no consumer after Stop: accepting would grow inboxes forever
+  }
+  if (wal_) {
+    // Log-before-accept: the record reaches the WAL (and, under
+    // FsyncPolicy::kPerCommit, the platter — this call group-commits)
+    // before the batch can have any downstream effect, so anything the
+    // caller sees acknowledged is recoverable. An append failure is counted
+    // (wal_append_failures) but does not reject the batch: a dying disk
+    // degrades durability, not availability.
+    wal_->LogBatch(partition, batch);
   }
   ops_submitted_.fetch_add(batch.size(), std::memory_order_relaxed);
   Inbox& inbox = *inboxes_[partition];
@@ -147,6 +185,9 @@ void EunomiaService::Heartbeat(PartitionId partition, Timestamp ts) {
   assert(partition < inboxes_.size());
   if (!running_.load(std::memory_order_relaxed)) {
     return;
+  }
+  if (wal_) {
+    wal_->LogHeartbeat(partition, ts);
   }
   Inbox& inbox = *inboxes_[partition];
   {
@@ -342,9 +383,27 @@ void EunomiaService::MergeLoop() {
       ready[s].clear();
       heads[s] = 0;
     }
+    // After a recovery, the prefix of the stable stream covered by the
+    // on-disk snapshot was already emitted by the pre-crash incarnation;
+    // re-emitting it would rewind subscribers. The stream is sorted, so the
+    // covered ops are a prefix of this emission.
+    if (wal_ && !emit.empty() &&
+        OrderKeyOf(emit.front()) <= wal_suppress_mark_) {
+      const auto first_kept =
+          std::find_if(emit.begin(), emit.end(), [this](const OpRecord& op) {
+            return OrderKeyOf(op) > wal_suppress_mark_;
+          });
+      emit.erase(emit.begin(), first_kept);
+    }
     if (!emit.empty()) {
       ops_stabilized_.fetch_add(emit.size(), std::memory_order_relaxed);
       fanout_.Emit(emit);
+      if (wal_) {
+        // Advance the durable frontier; periodically snapshots the mark and
+        // compacts the logs (merge thread only — appends keep flowing, they
+        // just queue behind the compaction's brief writer pause).
+        wal_->NoteStable(OrderKeyOf(emit.back()));
+      }
     }
     if (shutting_down) {
       break;

@@ -40,6 +40,7 @@
 #include "src/eunomia/core.h"
 #include "src/eunomia/op.h"
 #include "src/eunomia/replica.h"
+#include "src/eunomia/service_wal.h"
 
 namespace eunomia {
 
@@ -79,6 +80,12 @@ class EunomiaService {
     // is the fast path; the tree backends pin the §6 design choice.
     ordbuf::Backend buffer_backend = ordbuf::Backend::kPartitionRun;
     StableSink sink;
+    // Durability (src/eunomia/service_wal.h). With durability.disk set, the
+    // constructor recovers accepted-but-unstable state from the disk and
+    // SubmitBatch logs each batch before accepting it; stable ops above the
+    // last snapshot may re-emit after a crash (at-least-once, dedup by
+    // (ts, partition)). disk == nullptr keeps the service purely in-memory.
+    ServiceDurability durability;
   };
 
   explicit EunomiaService(Options options);
@@ -139,6 +146,16 @@ class EunomiaService {
   // partition, so an idle service does not inflate this on every tick.
   std::uint64_t heartbeats_forwarded() const;
 
+  // Durability observability (0 / nullptr-safe when durability is off).
+  std::uint64_t wal_snapshots() const {
+    return wal_ ? wal_->snapshots_taken() : 0;
+  }
+  std::uint64_t wal_append_failures() const {
+    return wal_ ? wal_->append_failures() : 0;
+  }
+  // True if recovery found (and discarded) a torn final record in any log.
+  bool recovered_torn_tail() const { return recovered_torn_tail_; }
+
  private:
   struct Inbox {
     sync::Mutex mu{"EunomiaService::Inbox::mu", sync::kRankServiceInbox};
@@ -193,6 +210,13 @@ class EunomiaService {
   void RecycleBatches(std::vector<std::vector<OpRecord>>* drained);
 
   Options options_;
+  // Durability pipeline; nullptr when Options::durability.disk is unset.
+  std::unique_ptr<ServiceWal> wal_;
+  // Recovery artifacts, fixed at construction: stable ops at or below the
+  // suppression mark were covered by the on-disk snapshot and must not be
+  // re-emitted by the merge thread.
+  OpOrderKey wal_suppress_mark_{0, 0};
+  bool recovered_torn_tail_ = false;
   // Serializes Start/Stop so concurrent lifecycle calls cannot interleave
   // with thread spawning/joining.
   sync::Mutex lifecycle_mu_{"EunomiaService::lifecycle_mu_",

@@ -79,6 +79,16 @@ class Receiver {
   // at any time.
   void CheckPending() { Flush(); }
 
+  // Crash-recovery bootstrap: restores the applied frontier recorded by a
+  // durability snapshot, so the replay of already-applied inbound updates
+  // is shed by the head duplicate check instead of re-applied. Only valid
+  // on a fresh receiver, before any update has been queued or applied.
+  void RestoreSiteTime(const VectorTimestamp& site_time) {
+    assert(site_time.size() == num_dcs_);
+    assert(applied_ == 0 && PendingCount() == 0);
+    site_time_ = site_time;
+  }
+
   const VectorTimestamp& site_time() const { return site_time_; }
   std::size_t PendingCount() const {
     std::size_t n = 0;

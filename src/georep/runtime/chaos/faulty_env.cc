@@ -67,6 +67,53 @@ void FaultyGeoEnvironment::RestartDatacenter(DatacenterId dc,
   ++stats_.restarts;
 }
 
+void FaultyGeoEnvironment::AttachDatacenter(DatacenterId dc,
+                                            DatacenterRuntime* runtime) {
+  RegisterRuntime(dc, runtime);
+  ++stats_.restarts;
+}
+
+void FaultyGeoEnvironment::CatchUpDatacenter(DatacenterId dc,
+                                             DatacenterRuntime* runtime) {
+  // Snapshot the recovered frontier before replay: applying metadata below
+  // advances SiteTime, and the filter must stay anchored to what the disk
+  // restored. An update is already covered by the disk iff its origin
+  // component is <= the recovered SiteTime for that origin (metadata is
+  // logged before processing, so SiteTime never runs ahead of the log).
+  const VectorTimestamp frontier = runtime->receiver().site_time();
+  for (DatacenterId origin = 0; origin < config_.num_dcs; ++origin) {
+    if (origin == dc) {
+      continue;
+    }
+    for (const InstallRecord& rec : payload_history_[Idx(origin, dc)]) {
+      if (rec.payload.vts[origin] > frontier[origin]) {
+        runtime->OnPayload(rec.partition, rec.payload);
+      }
+    }
+  }
+  for (DatacenterId origin = 0; origin < config_.num_dcs; ++origin) {
+    if (origin == dc) {
+      continue;
+    }
+    for (const std::vector<RemoteUpdate>& batch :
+         meta_history_[Idx(origin, dc)]) {
+      bool fresh = false;
+      for (const RemoteUpdate& u : batch) {
+        if (u.vts[u.origin] > frontier[u.origin]) {
+          fresh = true;
+          break;
+        }
+      }
+      // Skipping an all-stale batch is safe (nothing in it can apply), and
+      // delivering a batch with a stale prefix is safe too: the receiver's
+      // per-update dedup absorbs the overlap.
+      if (fresh) {
+        runtime->OnRemoteMetadata(batch);
+      }
+    }
+  }
+}
+
 void FaultyGeoEnvironment::SetWanDelay(DatacenterId from, DatacenterId to,
                                        std::uint64_t extra_us) {
   network_.SetExtraDelay(dcs_[from].eunomia_endpoint,

@@ -99,6 +99,19 @@ class FaultyGeoEnvironment : public SimGeoEnvironment {
   // DatacenterRuntime::RestoreLocalUpdate), then inbound payloads, then
   // inbound ordered metadata per origin. The caller starts timers after.
   void RestartDatacenter(DatacenterId dc, DatacenterRuntime* runtime);
+  // Durable-mode restart: attaches the runtime WITHOUT any environment
+  // replay — the runtime recovered its own state from a (simulated) disk
+  // (GeoDurability::Recover). The environment's channel histories stay the
+  // convergence oracle but are no longer the recovery mechanism.
+  void AttachDatacenter(DatacenterId dc, DatacenterRuntime* runtime);
+  // Durable-mode catch-up: delivers only the peer traffic ABOVE the
+  // runtime's recovered applied frontier (its receiver SiteTime) — inbound
+  // payloads first, then ordered metadata, per origin in channel FIFO
+  // order. This models sender-side retransmission from the last
+  // acknowledged point, which is exactly what the TCP transport's
+  // reconnect replay provides; full-history replay would work too (the
+  // receiver dedups) but would defeat the purpose of recovering from disk.
+  void CatchUpDatacenter(DatacenterId dc, DatacenterRuntime* runtime);
   // Degrades (extra_us > 0) or heals (extra_us = 0) every WAN channel from
   // `from` to `to` — ordered metadata/frontier and all payload channels.
   // Extra delay holds messages back but preserves FIFO (hold-and-flush), so

@@ -83,9 +83,14 @@ std::string NemesisReport::Digest() const {
   os << "seed=" << seed << " events=" << executed_events
      << " updates=" << updates_acked << " reads=" << reads_done
      << " windows=" << fault_windows << (scalar_metadata ? " scalar" : " vector")
-     << " crashes=" << faults.crashes << " drops=" << faults.payloads_dropped
+     << (durable ? " durable" : "") << " crashes=" << faults.crashes
+     << " drops=" << faults.payloads_dropped
      << " plants=" << faults.plants_fired
      << " violations=" << violations.size();
+  if (durable) {
+    os << " torn=" << wal_torn_tails << " flips=" << wal_bit_flips
+       << " snaps=" << snapshots_taken;
+  }
   if (!violations.empty()) {
     os << " first=[" << violations[0].invariant << ": "
        << violations[0].detail << "]";
@@ -101,8 +106,28 @@ NemesisReport RunNemesisSchedule(const NemesisOptions& options) {
   const GeoConfig config = DrawConfig(&root, options.smoke);
   const FaultProfile profile = DrawProfile(&root, options.plant);
 
+  // Always consume the draw so a given seed produces the same schedule no
+  // matter how `durability` overrides it.
+  const bool durable_draw = root.NextBool(0.4);
+  const bool durable =
+      options.durability == 1 || (options.durability < 0 && durable_draw);
+
   sim::Simulator sim(options.seed);
-  ChaosCluster cluster(&sim, ChaosOptions{config, profile, root.Next()});
+  ChaosOptions chaos_options;
+  chaos_options.config = config;
+  chaos_options.profile = profile;
+  chaos_options.seed = root.Next();
+  chaos_options.durable = durable;
+  if (durable) {
+    chaos_options.fsync = wal::FsyncPolicy::kPerCommit;
+    // Per-commit fsync leaves little unsynced tail for these to bite on;
+    // they mostly exercise the torn-fragment tolerance of WriteAtomic
+    // snapshots and the final interval of each log. Deterministic torn-tail
+    // coverage lives in the dedicated durability tests.
+    chaos_options.disk_faults.torn_tail = 0.5;
+    chaos_options.disk_faults.bit_flip = 0.25;
+  }
+  ChaosCluster cluster(&sim, chaos_options);
   cluster.Start();
 
   // --- fault windows ---------------------------------------------------------
@@ -331,6 +356,14 @@ NemesisReport RunNemesisSchedule(const NemesisOptions& options) {
   report.reads_done = reads_done;
   report.fault_windows = num_windows;
   report.scalar_metadata = config.scalar_metadata;
+  report.durable = durable;
+  if (durable) {
+    for (DatacenterId dc = 0; dc < config.num_dcs; ++dc) {
+      report.wal_torn_tails += cluster.disk(dc)->torn_tails();
+      report.wal_bit_flips += cluster.disk(dc)->bit_flips();
+      report.snapshots_taken += cluster.durability(dc)->snapshots_taken();
+    }
+  }
   report.faults = cluster.env().stats();
   report.violations = std::move(ryw_violations);
   std::vector<Violation> post = CheckInvariants(cluster, iopts);

@@ -27,6 +27,12 @@ struct NemesisOptions {
   // Deliberate bug to inject (--plant): the sweep asserts it is caught.
   Plant plant = Plant::kNone;
   std::uint32_t clients_per_dc = 2;
+  // Durable mode: <0 draws per seed (~40% of schedules recover crashed
+  // datacenters from a WAL+snapshot disk instead of environment replay),
+  // 0 never, 1 always. Durable schedules run fsync-per-commit — the
+  // read-your-writes-across-crash probe is only sound when acknowledged
+  // writes are on stable storage — and add torn-write/bit-flip disk faults.
+  int durability = -1;
 };
 
 struct NemesisReport {
@@ -36,6 +42,10 @@ struct NemesisReport {
   std::uint64_t reads_done = 0;
   std::uint32_t fault_windows = 0;
   bool scalar_metadata = false;
+  bool durable = false;
+  std::uint64_t wal_torn_tails = 0;
+  std::uint64_t wal_bit_flips = 0;
+  std::uint64_t snapshots_taken = 0;
   FaultStats faults;
   std::vector<Violation> violations;
 

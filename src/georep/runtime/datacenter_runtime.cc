@@ -9,10 +9,12 @@ DatacenterRuntime::DatacenterRuntime(DatacenterId id, const GeoConfig& config,
                                      Environment* env,
                                      VisibilityTracker* tracker,
                                      UidAllocator* uids, SessionMap* sessions,
-                                     std::vector<PhysicalClock> clocks)
+                                     std::vector<PhysicalClock> clocks,
+                                     DurabilityHooks* hooks)
     : id_(id),
       config_(config),
       env_(env),
+      hooks_(hooks),
       tracker_(tracker),
       uids_(uids),
       sessions_(sessions),
@@ -69,6 +71,26 @@ void DatacenterRuntime::RestoreLocalUpdate(PartitionId partition,
   registry_[update.uid] = RemoteUpdate{update.uid, update.key, update.vts, id_,
                                        partition};
   ++updates_installed_;
+}
+
+void DatacenterRuntime::RestoreStoreVersion(PartitionId partition, Key key,
+                                            const GeoVersion& version) {
+  assert(partition < partitions_.size());
+  Partition& part = partitions_[partition];
+  part.store.Put(key, version.value, version.vts, version.origin);
+  if (version.origin == id_) {
+    part.hybrid.Observe(version.vts[id_]);
+  }
+}
+
+void DatacenterRuntime::RestoreSiteTime(const VectorTimestamp& site_time) {
+  receiver_->RestoreSiteTime(site_time);
+}
+
+void DatacenterRuntime::PrimePartitionClock(PartitionId partition,
+                                            Timestamp ts) {
+  assert(partition < partitions_.size());
+  partitions_[partition].hybrid.Observe(ts);
 }
 
 void DatacenterRuntime::SchedulePartitionFlush(PartitionId p) {
@@ -162,6 +184,12 @@ void DatacenterRuntime::RunStabilizer() {
 }
 
 void DatacenterRuntime::OnRemoteMetadata(const std::vector<RemoteUpdate>& batch) {
+  if (hooks_ != nullptr) {
+    // Logged before the receiver sees it: anything that influenced SiteTime
+    // must be reconstructible, or a post-crash replay would under-run the
+    // pre-crash applied frontier.
+    hooks_->OnInboundMetadata(batch);
+  }
   for (const RemoteUpdate& u : batch) {
     receiver_->OnRemoteUpdate(u);
   }
@@ -274,6 +302,13 @@ void DatacenterRuntime::ExecuteUpdate(Partition& part, ClientId client,
     // Data/metadata separation (§5): ship the payload directly to the
     // sibling partitions, no ordering constraints.
     RemotePayload payload{uid, key, value, vts, id_};
+    if (hooks_ != nullptr) {
+      // Log-before-ship: once any byte of this update leaves the process
+      // (payload fan-out below, metadata at the next flush), a crash must
+      // be able to resurrect it, or peers end up holding orphaned payloads
+      // whose metadata go-ahead can never arrive.
+      hooks_->OnLocalInstall(part.id, payload);
+    }
     for (DatacenterId k = 0; k < config_.num_dcs; ++k) {
       if (k == id_) {
         continue;
@@ -308,6 +343,11 @@ void DatacenterRuntime::OnPayload(PartitionId p, RemotePayload payload) {
       payload.vts[payload.origin] <= receiver_->site_time()[payload.origin]) {
     ++payload_duplicates_;
     return;
+  }
+  if (hooks_ != nullptr) {
+    // After the duplicate check (redeliveries are not re-logged), before the
+    // payload can be buffered or applied.
+    hooks_->OnInboundPayload(p, payload);
   }
   Partition& part = partitions_[p];
   // Per-datacenter trackers (real binding) never saw the origin's install:

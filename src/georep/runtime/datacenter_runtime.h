@@ -44,14 +44,33 @@ namespace eunomia::geo::rt {
 // clients attached to it.
 using SessionMap = std::unordered_map<ClientId, VectorTimestamp>;
 
+// Write-ahead seam: the runtime announces, synchronously and before any
+// side effect leaves the process, every event a crash-recovery log must
+// capture. OnLocalInstall fires after a local update is installed but
+// before its payload fan-out; the inbound pair fires when remote metadata /
+// payloads are accepted (after duplicate suppression, so replaying a log
+// never double-logs). Implementations append to a durable log
+// (georep/runtime/durability.h); a null hooks pointer keeps the runtime
+// purely in-memory.
+class DurabilityHooks {
+ public:
+  virtual ~DurabilityHooks() = default;
+  virtual void OnLocalInstall(PartitionId partition,
+                              const RemotePayload& payload) = 0;
+  virtual void OnInboundMetadata(const std::vector<RemoteUpdate>& batch) = 0;
+  virtual void OnInboundPayload(PartitionId partition,
+                                const RemotePayload& payload) = 0;
+};
+
 class DatacenterRuntime {
  public:
   // `clocks` holds one loosely synchronized physical clock per partition
-  // (the binding decides the skew model). `tracker`, `uids` and `sessions`
-  // are borrowed and must outlive the runtime.
+  // (the binding decides the skew model). `tracker`, `uids`, `sessions` and
+  // `hooks` (optional) are borrowed and must outlive the runtime.
   DatacenterRuntime(DatacenterId id, const GeoConfig& config, Environment* env,
                     VisibilityTracker* tracker, UidAllocator* uids,
-                    SessionMap* sessions, std::vector<PhysicalClock> clocks);
+                    SessionMap* sessions, std::vector<PhysicalClock> clocks,
+                    DurabilityHooks* hooks = nullptr);
 
   DatacenterRuntime(const DatacenterRuntime&) = delete;
   DatacenterRuntime& operator=(const DatacenterRuntime&) = delete;
@@ -86,6 +105,23 @@ class DatacenterRuntime {
   // payload — the restarting harness replays inbound/outbound channels
   // itself.
   void RestoreLocalUpdate(PartitionId partition, const RemotePayload& update);
+  // Restores one store version from a durability snapshot: the raw Put plus
+  // a hybrid-clock observation of the version's local component, with no
+  // re-enqueue for stabilization or shipping (the snapshot covers state
+  // whose metadata already stabilized). Same call-window contract as
+  // RestoreLocalUpdate.
+  void RestoreStoreVersion(PartitionId partition, Key key,
+                           const GeoVersion& version);
+  // Restores the receiver's applied frontier (SiteTime) from a snapshot, so
+  // replayed inbound arrivals the old incarnation already applied are
+  // dropped as duplicates instead of re-applied against fresh state. Call
+  // before replaying any inbound metadata or payloads.
+  void RestoreSiteTime(const VectorTimestamp& site_time);
+  // Re-primes one partition's hybrid clock to at least `ts` — covers local
+  // timestamps whose install-log entries were truncated away (their stable,
+  // everywhere-applied ops no longer replay, but future timestamps must
+  // still strictly exceed them or Property 2 breaks).
+  void PrimePartitionClock(PartitionId partition, Timestamp ts);
 
   // --- message ingress (invoked by the binding on delivery) ------------------
   // At the Eunomia node: one partition's timestamp-ordered metadata batch /
@@ -157,6 +193,7 @@ class DatacenterRuntime {
   const DatacenterId id_;
   const GeoConfig config_;
   Environment* const env_;
+  DurabilityHooks* const hooks_;
   VisibilityTracker* const tracker_;
   UidAllocator* const uids_;
   SessionMap* const sessions_;

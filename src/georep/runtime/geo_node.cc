@@ -22,6 +22,7 @@ GeoNode::GeoNode(net::Transport* transport, Options options)
       tracker_(options_.config.timeline_window_us, /*num_datacenters=*/2),
       // Coordination-free uid streams: uid ≡ dc (mod num_dcs).
       uids_(options_.dc, options_.config.num_dcs),
+      peer_applied_(options_.config.num_dcs, 0),
       peers_(options_.config.num_dcs) {
   if (options_.detailed_visibility) {
     tracker_.EnableDetailedLog();
@@ -30,13 +31,35 @@ GeoNode::GeoNode(net::Transport* transport, Options options)
   // trackers, never to ours: retaining origin records here would leak one
   // entry per local update for the daemon's lifetime.
   tracker_.DisableInstallRetention();
+  if (options_.durability_disk != nullptr) {
+    GeoDurabilityOptions dopts;
+    dopts.disk = options_.durability_disk;
+    dopts.dc = options_.dc;
+    dopts.num_dcs = options_.config.num_dcs;
+    dopts.partitions = options_.config.partitions_per_dc;
+    dopts.fsync = options_.fsync;
+    dopts.fsync_interval_us = options_.fsync_interval_us;
+    dopts.snapshot_interval_bytes = options_.snapshot_interval_bytes;
+    // The event loop already serializes every append; a writer thread
+    // would only reorder fsyncs against the acks that assume them.
+    dopts.threaded = false;
+    durability_ = std::make_unique<GeoDurability>(std::move(dopts));
+  }
   // Real nodes read one shared monotonic clock through Environment::Now();
   // inter-process skew (and the hybrid clock's resilience to it) comes from
   // the deployment, not from an injected model.
   std::vector<PhysicalClock> clocks(options_.config.partitions_per_dc);
   runtime_ = std::make_unique<DatacenterRuntime>(
       options_.dc, options_.config, static_cast<Environment*>(this), &tracker_,
-      &uids_, &sessions_, std::move(clocks));
+      &uids_, &sessions_, std::move(clocks), durability_.get());
+  if (durability_ != nullptr) {
+    // Recovery runs pre-Start with nothing else touching the runtime; the
+    // environment calls it triggers (SendApply hops, metadata batches)
+    // queue on the not-yet-started loop and drain once Start runs them.
+    GeoDurability::Recovered recovered =
+        durability_->Recover(runtime_.get(), &sessions_);
+    recovered_installs_ = std::move(recovered.retained_installs);
+  }
 }
 
 GeoNode::~GeoNode() { Stop(); }
@@ -92,6 +115,15 @@ bool GeoNode::DialLinks(DatacenterId peer) {
     hello.num_dcs = options_.config.num_dcs;
     hello.partitions = options_.config.partitions_per_dc;
     hello.link_kind = link_kind;
+    if (link_kind == gw::kMetadataLink && durability_ != nullptr &&
+        options_.fsync == wal::FsyncPolicy::kPerCommit) {
+      // What this node durably holds of the peer's updates: under
+      // fsync-per-commit every applied inbound record hit stable storage
+      // before processing, so SiteTime is a durable frontier and the peer
+      // may skip its replay below it. A WAL-less node (or a lazier fsync
+      // policy, which can lose a synced-looking tail) keeps the default 0.
+      hello.resume_from = runtime_->receiver().site_time()[peer];
+    }
     if (!connection->SendFrame(nw::MsgType::kGeoHello,
                                gw::EncodeGeoHello(hello))) {
       connection->Close();
@@ -157,14 +189,37 @@ void GeoNode::TryReconnect(DatacenterId peer) {
   entry.down = false;
   reconnects_.fetch_add(1, std::memory_order_relaxed);
   if (options_.retain_peer_history) {
-    // Catch-up: replay everything ever sent, in order. The peer may have
-    // restarted with total state loss; whatever it did keep arrives as
-    // duplicates and its uid/timestamp dedup absorbs them.
+    // Catch-up: replay retained frames in order, skipping what the peer
+    // durably acked (its hello on the reverse link may have raised
+    // peer_applied_ past frames retained before the drop). Whatever the
+    // peer kept beyond its acks arrives as duplicates and its
+    // uid/timestamp dedup absorbs them.
+    const Timestamp applied = peer_applied_[peer];
     for (const Peer::Sent& sent : entry.history) {
+      if (sent.ts != 0 && sent.ts <= applied) {
+        continue;
+      }
       SendOnLink(sent.type == nw::MsgType::kGeoPayload ? entry.payloads
                                                        : entry.metadata,
                  sent.type, sent.frame);
     }
+  }
+}
+
+void GeoNode::NotePeerApplied(DatacenterId peer, Timestamp applied) {
+  if (applied <= peer_applied_[peer]) {
+    return;
+  }
+  peer_applied_[peer] = applied;
+  if (options_.retain_peer_history) {
+    // Truncation is what keeps the history bounded against durable peers:
+    // a frame the peer holds on stable storage never needs replaying.
+    std::vector<Peer::Sent>& history = peers_[peer].history;
+    history.erase(std::remove_if(history.begin(), history.end(),
+                                 [applied](const Peer::Sent& sent) {
+                                   return sent.ts != 0 && sent.ts <= applied;
+                                 }),
+                  history.end());
   }
 }
 
@@ -173,7 +228,27 @@ void GeoNode::Start() {
     return;
   }
   loop_.Start();
-  loop_.Post([this] { runtime_->StartTimers(); });
+  loop_.Post([this] {
+    runtime_->StartTimers();
+    // Re-fan-out every install the WAL retained: the pre-crash fan-out may
+    // not have reached every peer, and peers dedup whatever it did. The
+    // metadata re-ships itself — recovery re-enqueued the ops for
+    // stabilization.
+    for (const auto& [partition, payload] : recovered_installs_) {
+      for (DatacenterId k = 0; k < options_.config.num_dcs; ++k) {
+        if (k != options_.dc) {
+          SendPayload(options_.dc, k, partition, payload);
+        }
+      }
+    }
+    recovered_installs_.clear();
+    if (durability_ != nullptr) {
+      if (options_.fsync == wal::FsyncPolicy::kPerCommit) {
+        AckTick();
+      }
+      SnapshotTick();
+    }
+  });
 }
 
 void GeoNode::Stop() {
@@ -184,6 +259,54 @@ void GeoNode::Stop() {
   // and blocked outbound sends fail fast), then the loop.
   transport_->Shutdown();
   loop_.Stop();
+  if (durability_ != nullptr) {
+    // Graceful shutdown syncs the tail; only kill -9 loses unsynced bytes.
+    durability_->Flush();
+  }
+}
+
+void GeoNode::AckTick() {
+  if (stopped_.load()) {
+    return;
+  }
+  // Acks carry the durable applied frontier per origin — sound to promise
+  // only under fsync-per-commit (Start gates on that), and only useful to
+  // peers retaining history, but sent to all: the peer decides what to
+  // truncate.
+  const VectorTimestamp& site_time = runtime_->receiver().site_time();
+  for (DatacenterId peer = 0; peer < options_.config.num_dcs; ++peer) {
+    if (peer == options_.dc || peers_[peer].address.empty() ||
+        peers_[peer].down) {
+      continue;
+    }
+    SendToPeer(peer, nw::MsgType::kGeoAck,
+               gw::EncodeGeoAck({options_.dc, site_time[peer]}));
+  }
+  loop_.ScheduleAfter(options_.ack_interval_us, [this] { AckTick(); });
+}
+
+void GeoNode::SnapshotTick() {
+  if (stopped_.load()) {
+    return;
+  }
+  if (durability_->SnapshotDue()) {
+    durability_->Snapshot(*runtime_, &sessions_, InstallTruncateMark());
+  }
+  loop_.ScheduleAfter(options_.snapshot_check_interval_us,
+                      [this] { SnapshotTick(); });
+}
+
+Timestamp GeoNode::InstallTruncateMark() const {
+  // Every peer must durably hold an install before its WAL record may go.
+  // peer_applied_ starts at 0 and WAL-less peers ack 0, so either pins the
+  // log — truncation only proceeds in an all-durable deployment.
+  Timestamp mark = runtime_->eunomia().StableTime();
+  for (DatacenterId peer = 0; peer < options_.config.num_dcs; ++peer) {
+    if (peer != options_.dc) {
+      mark = std::min(mark, peer_applied_[peer]);
+    }
+  }
+  return mark;
 }
 
 void GeoNode::ClientRead(ClientId client, Key key,
@@ -254,11 +377,13 @@ void GeoNode::SendOnLink(const std::shared_ptr<net::Connection>& link,
   }
 }
 
-void GeoNode::SendToPeer(DatacenterId to, nw::MsgType type,
-                         std::string frame) {
+void GeoNode::SendToPeer(DatacenterId to, nw::MsgType type, std::string frame,
+                         Timestamp ts) {
   Peer& entry = peers_[to];
-  if (options_.retain_peer_history) {
-    entry.history.push_back({type, frame});
+  if (options_.retain_peer_history && type != nw::MsgType::kGeoAck) {
+    // Acks are ephemeral link control — replaying a stale one could only
+    // mislead the peer about what this node currently holds.
+    entry.history.push_back({type, frame, ts});
   }
   if (type == nw::MsgType::kGeoPayload && entry.paused) {
     entry.parked.push_back(std::move(frame));
@@ -288,14 +413,21 @@ void GeoNode::SendRemoteMetadata(DatacenterId, DatacenterId to,
       gw::MaxGeoUpdatesPerFrame(options_.config.num_dcs);
   for (std::size_t i = 0; i < batch.size(); i += max_per_frame) {
     const std::size_t n = std::min(max_per_frame, batch.size() - i);
+    // Batches ship in stabilization order, so the chunk's last update
+    // carries its highest own-component timestamp — the frontier a peer
+    // must have durably passed for this frame to be dead.
+    const RemoteUpdate& last = batch[i + n - 1];
     SendToPeer(to, nw::MsgType::kGeoMetaBatch,
-               gw::EncodeGeoMetaBatch(options_.dc, batch.data() + i, n));
+               gw::EncodeGeoMetaBatch(options_.dc, batch.data() + i, n),
+               last.vts[last.origin]);
   }
 }
 
 void GeoNode::SendFrontier(DatacenterId, DatacenterId to, Timestamp frontier) {
+  // A beacon is covered by the frontier it announces: once the peer
+  // durably applied up to it, the announcement carries no information.
   SendToPeer(to, nw::MsgType::kGeoFrontier,
-             gw::EncodeGeoFrontier({options_.dc, frontier}));
+             gw::EncodeGeoFrontier({options_.dc, frontier}), frontier);
 }
 
 void GeoNode::SendPayload(DatacenterId, DatacenterId to, PartitionId partition,
@@ -303,7 +435,8 @@ void GeoNode::SendPayload(DatacenterId, DatacenterId to, PartitionId partition,
   gw::GeoPayloadMsg msg;
   msg.partition = partition;
   msg.payload = std::move(payload);
-  SendToPeer(to, nw::MsgType::kGeoPayload, gw::EncodeGeoPayload(msg));
+  const Timestamp ts = msg.payload.vts[msg.payload.origin];
+  SendToPeer(to, nw::MsgType::kGeoPayload, gw::EncodeGeoPayload(msg), ts);
 }
 
 void GeoNode::SendApply(DatacenterId, PartitionId, std::function<void()> fn) {
@@ -344,6 +477,13 @@ net::ConnectionHandler GeoNode::MakeInboundHandler() {
       state->hello_done = true;
       state->peer_dc = hello.dc;
       state->link_kind = hello.link_kind;
+      if (hello.link_kind == gw::kMetadataLink && hello.resume_from > 0) {
+        // The dialer names what it durably holds of OUR updates; raise the
+        // mark so our reconnect replay to it skips the covered prefix.
+        loop_.Post([this, peer = hello.dc, applied = hello.resume_from] {
+          NotePeerApplied(peer, applied);
+        });
+      }
       return;
     }
     switch (frame.type) {
@@ -392,6 +532,19 @@ net::ConnectionHandler GeoNode::MakeInboundHandler() {
         loop_.Post([this, partition = msg.partition,
                     payload = std::move(msg.payload)]() mutable {
           runtime_->OnPayload(partition, std::move(payload));
+        });
+        return;
+      }
+      case nw::MsgType::kGeoAck: {
+        gw::GeoAckMsg msg;
+        if (state->link_kind != gw::kMetadataLink ||
+            !gw::DecodeGeoAck(frame.payload, &msg) ||
+            msg.dc != state->peer_dc) {
+          reject();
+          return;
+        }
+        loop_.Post([this, peer = msg.dc, applied = msg.applied] {
+          NotePeerApplied(peer, applied);
         });
         return;
       }

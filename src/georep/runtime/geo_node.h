@@ -36,8 +36,11 @@
 #include "src/georep/runtime/datacenter_runtime.h"
 #include "src/georep/runtime/environment.h"
 #include "src/georep/runtime/event_loop.h"
+#include "src/georep/runtime/durability.h"
 #include "src/georep/visibility.h"
 #include "src/net/transport.h"
+#include "src/wal/disk.h"
+#include "src/wal/log_writer.h"
 
 namespace eunomia::geo::rt {
 
@@ -61,13 +64,32 @@ class GeoNode final : private Environment {
     // back at any time; Stop cancels the retry loop).
     std::uint32_t reconnect_backoff_ms = 50;
     std::uint32_t reconnect_backoff_max_ms = 1000;
-    // Retain every frame sent to each peer and replay the full history when
-    // its link is re-established — a WAL-less stand-in for durable
-    // retransmission that lets a peer restarted with total state loss catch
-    // up. Whatever the peer did keep arrives as duplicates and is absorbed
-    // by uid/timestamp dedup on its receive path. Off by default: history
-    // grows without bound.
+    // Retain every frame sent to each peer and replay it when the link is
+    // re-established — durable retransmission that lets a restarted peer
+    // catch up. Whatever the peer did keep arrives as duplicates and is
+    // absorbed by uid/timestamp dedup on its receive path. Frames a peer
+    // has durably acked (kGeoAck / hello resume_from) are truncated from
+    // the history and skipped on replay, so against durable peers the
+    // buffer stays bounded by the ack interval; against WAL-less peers
+    // (which ack 0) it grows without bound, as before.
     bool retain_peer_history = false;
+    // Durability: when durability_disk is set the node write-ahead-logs
+    // every local install and every inbound metadata batch / payload before
+    // processing it, snapshots periodically, and recovers from the disk in
+    // the constructor — a kill -9'd node rejoins from its own WAL and needs
+    // only incremental catch-up from peers (resume_from in its hellos names
+    // the recovered frontier). The disk must outlive the node.
+    wal::Disk* durability_disk = nullptr;
+    wal::FsyncPolicy fsync = wal::FsyncPolicy::kPerCommit;
+    std::uint64_t fsync_interval_us = 5'000;  // kInterval policy only
+    // Snapshot when at least snapshot_interval_bytes of log accumulated,
+    // checked every snapshot_check_interval_us.
+    std::uint64_t snapshot_check_interval_us = 250'000;
+    std::uint64_t snapshot_interval_bytes = 1u << 20;
+    // Durable nodes ack their applied frontier to every peer at this
+    // period (the acks drive peers' history truncation and this node's
+    // install-log truncation).
+    std::uint64_t ack_interval_us = 100'000;
   };
 
   // The transport becomes dedicated to this node; Stop() shuts it down.
@@ -121,6 +143,19 @@ class GeoNode final : private Environment {
     return reconnects_.load(std::memory_order_relaxed);
   }
 
+  // Null when Options::durability_disk was not set. Loop thread (or
+  // stopped node) only, like runtime().
+  const GeoDurability* durability() const { return durability_.get(); }
+  // Highest durably-applied frontier `peer` has acked for this node's
+  // updates, and the frames currently retained for it. Loop thread (or
+  // stopped node) only — use RunBlocking on a live node.
+  Timestamp peer_applied(DatacenterId peer) const {
+    return peer_applied_[peer];
+  }
+  std::size_t retained_history_size(DatacenterId peer) const {
+    return peers_[peer].history.size();
+  }
+
   // Test hook for the causality e2e: while paused, outbound payloads to
   // `peer` are parked (metadata keeps flowing, so the remote receiver
   // issues go-aheads that must wait for the payload); resume releases them
@@ -140,8 +175,14 @@ class GeoNode final : private Environment {
     struct Sent {
       net::wire::MsgType type;
       std::string frame;
+      // Self-origin frontier that covers this frame (last contained
+      // update's own-component timestamp; the beacon value for frontier
+      // frames). A peer that durably acked `applied` needs no frame with
+      // ts <= applied. 0 = not coverable, always replay.
+      Timestamp ts = 0;
     };
-    // Options::retain_peer_history: everything ever sent, in send order.
+    // Options::retain_peer_history: frames sent and not yet acked
+    // durable by this peer, in send order.
     std::vector<Sent> history;
   };
 
@@ -171,14 +212,26 @@ class GeoNode final : private Environment {
   void SendOnLink(const std::shared_ptr<net::Connection>& link,
                   net::wire::MsgType type, const std::string& payload);
   // Live-path send: records history (when retained), parks paused payloads,
-  // and on a send failure marks the peer down. Loop thread only.
-  void SendToPeer(DatacenterId to, net::wire::MsgType type, std::string frame);
+  // and on a send failure marks the peer down. Loop thread only. `ts` is
+  // the covering frontier recorded with the history entry (see Peer::Sent).
+  void SendToPeer(DatacenterId to, net::wire::MsgType type, std::string frame,
+                  Timestamp ts = 0);
   // Dials both links to peers_[peer].address. Synchronous; false if either
   // dial or hello failed (nothing is kept half-connected).
   bool DialLinks(DatacenterId peer);
   // Drops both links and schedules the backoff re-dial loop. Loop thread.
   void MarkLinkDown(DatacenterId peer);
   void TryReconnect(DatacenterId peer);
+  // Raises peer_applied_[peer] and truncates its retained history below
+  // the new mark. Loop thread only.
+  void NotePeerApplied(DatacenterId peer, Timestamp applied);
+  // Periodic durable-node duties (self-rescheduling loop timers).
+  void AckTick();
+  void SnapshotTick();
+  // Frontier up to which this node's install WAL may be truncated: its own
+  // stable frontier, floored by what every peer has durably acked (0 until
+  // all peers ack — a peer that never acks pins the log, by design).
+  Timestamp InstallTruncateMark() const;
 
   net::Transport* const transport_;
   const Options options_;
@@ -186,7 +239,12 @@ class GeoNode final : private Environment {
   VisibilityTracker tracker_;
   UidAllocator uids_;
   SessionMap sessions_;
+  std::unique_ptr<GeoDurability> durability_;  // before runtime_: its hooks
   std::unique_ptr<DatacenterRuntime> runtime_;
+  // Installs recovered from the WAL, re-fanned-out to every peer at Start
+  // (the pre-crash fan-out may not have completed; peers dedup).
+  std::vector<std::pair<PartitionId, RemotePayload>> recovered_installs_;
+  std::vector<Timestamp> peer_applied_;  // loop thread; indexed by peer
   std::vector<Peer> peers_;  // indexed by DatacenterId; [dc()] unused
   std::atomic<bool> started_{false};
   std::atomic<bool> stopped_{false};

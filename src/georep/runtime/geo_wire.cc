@@ -49,6 +49,7 @@ std::string EncodeGeoHello(const GeoHelloMsg& msg) {
   PutU32(&payload, msg.num_dcs);
   PutU32(&payload, msg.partitions);
   PutU32(&payload, msg.link_kind);
+  PutU64(&payload, msg.resume_from);
   return payload;
 }
 
@@ -56,7 +57,8 @@ bool DecodeGeoHello(std::string_view payload, GeoHelloMsg* msg) {
   PayloadReader reader(payload);
   return reader.U32(&msg->protocol_version) && reader.U32(&msg->dc) &&
          reader.U32(&msg->num_dcs) && reader.U32(&msg->partitions) &&
-         reader.U32(&msg->link_kind) && reader.done();
+         reader.U32(&msg->link_kind) && reader.U64(&msg->resume_from) &&
+         reader.done();
 }
 
 std::string EncodeGeoMetaBatch(DatacenterId origin, const RemoteUpdate* updates,
@@ -137,6 +139,18 @@ bool DecodeGeoPayload(std::string_view payload, GeoPayloadMsg* msg) {
          reader.U64(&msg->payload.key) && reader.U32(&msg->payload.origin) &&
          ReadVts(&reader, &msg->payload.vts) && reader.U32(&value_len) &&
          reader.Bytes(value_len, &msg->payload.value) && reader.done();
+}
+
+std::string EncodeGeoAck(const GeoAckMsg& msg) {
+  std::string payload;
+  PutU32(&payload, msg.dc);
+  PutU64(&payload, msg.applied);
+  return payload;
+}
+
+bool DecodeGeoAck(std::string_view payload, GeoAckMsg* msg) {
+  PayloadReader reader(payload);
+  return reader.U32(&msg->dc) && reader.U64(&msg->applied) && reader.done();
 }
 
 }  // namespace eunomia::geo::rt::wire

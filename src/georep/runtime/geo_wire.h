@@ -52,6 +52,12 @@ struct GeoHelloMsg {
   std::uint32_t num_dcs = 0;   // deployment shape — must match the acceptor
   std::uint32_t partitions = 0;
   std::uint32_t link_kind = kMetadataLink;
+  // Metadata link only: the dialer's DURABLY applied frontier of the
+  // acceptor's updates (its recovered SiteTime component for the acceptor).
+  // The acceptor may skip its reconnect replay below this mark. A node
+  // without stable storage must send 0 — its applied frontier does not
+  // survive a restart, so nothing may be skipped on its behalf.
+  std::uint64_t resume_from = 0;
 };
 
 struct GeoMetaBatchMsg {
@@ -69,6 +75,18 @@ struct GeoPayloadMsg {
   RemotePayload payload;
 };
 
+// Periodic durably-applied ack, sent by datacenter `dc` on its outbound
+// metadata link: "of YOUR updates I have durably applied up to `applied`".
+// The receiving peer raises its record of what `dc` holds and truncates the
+// retained replay history below it (and, with durability enabled, may
+// truncate its install WAL once every peer's mark passed). Nodes without
+// stable storage send applied=0: an ack must never cause a peer to discard
+// frames the acker could still lose.
+struct GeoAckMsg {
+  DatacenterId dc = 0;          // the acking (sending) datacenter
+  std::uint64_t applied = 0;    // durable SiteTime component for the peer
+};
+
 std::string EncodeGeoHello(const GeoHelloMsg& msg);
 bool DecodeGeoHello(std::string_view payload, GeoHelloMsg* msg);
 
@@ -82,5 +100,8 @@ bool DecodeGeoFrontier(std::string_view payload, GeoFrontierMsg* msg);
 
 std::string EncodeGeoPayload(const GeoPayloadMsg& msg);
 bool DecodeGeoPayload(std::string_view payload, GeoPayloadMsg* msg);
+
+std::string EncodeGeoAck(const GeoAckMsg& msg);
+bool DecodeGeoAck(std::string_view payload, GeoAckMsg* msg);
 
 }  // namespace eunomia::geo::rt::wire

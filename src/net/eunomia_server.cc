@@ -23,6 +23,7 @@ EunomiaServer::EunomiaServer(Transport* transport, Options options)
     service_options.stable_period_us = options_.stable_period_us;
     service_options.buffer_backend = options_.buffer_backend;
     service_options.sink = options_.sink;
+    service_options.durability = options_.durability;
     service_ = std::make_unique<EunomiaService>(std::move(service_options));
     service_->AddStableListener(
         [this](const std::vector<OpRecord>& ops) { OnStable(ops); });

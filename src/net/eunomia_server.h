@@ -66,6 +66,10 @@ class EunomiaServer {
     // frames with consecutive stream sequence numbers. Clamped to the
     // wire-format cap; only tests normally lower it.
     std::uint32_t max_ops_per_stable_frame = wire::kMaxOpsPerFrame;
+    // Durability passthrough (non-FT only; the FT service's durability story
+    // is replication). With durability.disk set, the hosted service recovers
+    // from it at construction and logs every accepted batch before acking.
+    ServiceDurability durability;
   };
 
   EunomiaServer(Transport* transport, Options options);

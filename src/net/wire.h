@@ -71,10 +71,11 @@ enum class MsgType : std::uint8_t {
   kGeoMetaBatch = 10, // Eunomia@m -> receiver@k: stabilized metadata, FIFO
   kGeoFrontier = 11, // Eunomia@m -> receiver@k: scalar-mode stable beacon
   kGeoPayload = 12,  // partition (m,p) -> sibling (k,p): one update payload
+  kGeoAck = 13,      // receiver@k -> Eunomia@m: durably-applied frontier ack
 };
 
 inline constexpr std::uint8_t kMinMsgType = 1;
-inline constexpr std::uint8_t kMaxMsgType = 12;
+inline constexpr std::uint8_t kMaxMsgType = 13;
 
 enum class WireError : std::uint8_t {
   kNone = 0,

@@ -14,21 +14,42 @@
 
 namespace eunomia::net::wire::io {
 
+// Raw in-place stores, for encoders that size their buffer up front and
+// write through a cursor — the bulk-encode fast path (one resize, straight
+// stores) instead of per-byte push_backs.
+inline void StoreU16(char* p, std::uint16_t v) {
+  p[0] = static_cast<char>(v & 0xff);
+  p[1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+inline void StoreU32(char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+inline void StoreU64(char* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
 inline void PutU16(std::string* out, std::uint16_t v) {
-  out->push_back(static_cast<char>(v & 0xff));
-  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  char b[2];
+  StoreU16(b, v);
+  out->append(b, sizeof(b));
 }
 
 inline void PutU32(std::string* out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
+  char b[4];
+  StoreU32(b, v);
+  out->append(b, sizeof(b));
 }
 
 inline void PutU64(std::string* out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
+  char b[8];
+  StoreU64(b, v);
+  out->append(b, sizeof(b));
 }
 
 inline std::uint16_t GetU16(const char* p) {

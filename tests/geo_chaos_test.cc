@@ -126,6 +126,15 @@ GeoConfig SmallConfig(std::uint32_t num_dcs, bool scalar) {
   return config;
 }
 
+chaos::ChaosOptions ClusterOpts(const GeoConfig& config, std::uint64_t seed,
+                                const chaos::FaultProfile& profile = {}) {
+  chaos::ChaosOptions options;
+  options.config = config;
+  options.profile = profile;
+  options.seed = seed;
+  return options;
+}
+
 chaos::InvariantOptions GenerousBound(const chaos::ChaosCluster& cluster,
                                       const GeoConfig& config) {
   chaos::InvariantOptions iopts;
@@ -158,8 +167,7 @@ TEST(ChaosCluster, FaultFreeScheduleHasNoViolations) {
   for (const bool scalar : {false, true}) {
     const GeoConfig config = SmallConfig(3, scalar);
     sim::Simulator sim(7);
-    chaos::ChaosCluster cluster(&sim,
-                                chaos::ChaosOptions{config, {}, /*seed=*/7});
+    chaos::ChaosCluster cluster(&sim, ClusterOpts(config, /*seed=*/7));
     cluster.Start();
     for (DatacenterId dc = 0; dc < 3; ++dc) {
       ScheduleWrites(&sim, &cluster, dc, 20'000, 400'000, 7'000);
@@ -177,8 +185,7 @@ TEST(ChaosCluster, FaultFreeScheduleHasNoViolations) {
 TEST(ChaosCluster, CrashRestartConvergesAndFrontierStaysMonotone) {
   const GeoConfig config = SmallConfig(3, /*scalar=*/true);
   sim::Simulator sim(11);
-  chaos::ChaosCluster cluster(&sim,
-                              chaos::ChaosOptions{config, {}, /*seed=*/11});
+  chaos::ChaosCluster cluster(&sim, ClusterOpts(config, /*seed=*/11));
   cluster.Start();
   ScheduleWrites(&sim, &cluster, 0, 20'000, 500'000, 5'000);
   ScheduleWrites(&sim, &cluster, 2, 25'000, 500'000, 5'000);
@@ -211,7 +218,7 @@ TEST(ChaosCluster, CrashRestartConvergesAndFrontierStaysMonotone) {
 TEST(ChaosCluster, DuplicatePayloadAfterVisibilityIsDropped) {
   const GeoConfig config = SmallConfig(2, /*scalar=*/false);
   sim::Simulator sim(3);
-  chaos::ChaosCluster cluster(&sim, chaos::ChaosOptions{config, {}, 3});
+  chaos::ChaosCluster cluster(&sim, ClusterOpts(config, /*seed=*/3));
   cluster.Start();
   sim.ScheduleAt(10'000, [&cluster] {
     cluster.runtime(0)->ClientUpdate(100, /*key=*/1, "original", [] {});
@@ -245,8 +252,7 @@ TEST(ChaosCluster, LostThenReshippedPayloadDrains) {
   profile.payload_drop = 0.5;
   profile.reship_delay_us = 30'000;
   sim::Simulator sim(13);
-  chaos::ChaosCluster cluster(&sim,
-                              chaos::ChaosOptions{config, profile, 13});
+  chaos::ChaosCluster cluster(&sim, ClusterOpts(config, /*seed=*/13, profile));
   cluster.Start();
   ScheduleWrites(&sim, &cluster, 0, 10'000, 300'000, 4'000);
   sim.RunUntil(2'000'000);
