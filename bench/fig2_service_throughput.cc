@@ -39,14 +39,18 @@
 // sockets (or the in-process LoopbackTransport, isolating the wire-format
 // cost from the kernel's) — so the throughput curve includes a real socket
 // hop and lands in BENCH_fig2.json next to the in-process numbers.
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/flags.h"
 #include "bench/net_driver.h"
 #include "bench/service_driver.h"
+#include "src/metrics/metrics_server.h"
+#include "src/metrics/registry.h"
 #include "src/eunomia/core.h"
 #include "src/eunomia/service.h"
 #include "src/net/loopback_transport.h"
@@ -368,13 +372,41 @@ bool RunTransportScan(const std::string& kind, bool smoke,
   Table table({"transport", "num_shards", "stabilized (kops/s)",
                "ack mean (us)", "ack max (us)"});
   bool all_converged = true;
+  // The TCP runs double as the scrape-endpoint exercise for CI: the server
+  // and service register into the default registry (where the net layer's
+  // frame counters already live), a MetricsServer serves it on an ephemeral
+  // loopback port, and a sidecar thread scrapes it WHILE the load runs —
+  // proving the exposition path is safe against live wait-free writers, not
+  // just after quiescence. The last mid-run scrape is written to
+  // fig2_tcp_scrape.prom so CI archives a real exposition next to
+  // BENCH_fig2.json.
+  metrics::MetricsServer metrics_server;
+  std::string metrics_address;
+  std::string last_scrape;
+  if (kind == "tcp") {
+    metrics_address = metrics_server.Start("127.0.0.1:0");
+  }
   for (const std::uint32_t shards : shard_counts) {
     // Fresh transport per run: EunomiaServer::Stop shuts its transport down.
     bench::TransportRunResult result;
     if (kind == "tcp") {
       net::TcpTransport transport;
-      result = bench::MeasureTransportThroughput(transport, "127.0.0.1:0",
-                                                 shards, load);
+      std::atomic<bool> done{false};
+      std::thread scraper([&metrics_address, &last_scrape, &done] {
+        while (!done.load(std::memory_order_relaxed)) {
+          std::string body;
+          if (metrics::HttpGet(metrics_address, "/metrics", &body) &&
+              !body.empty()) {
+            last_scrape = std::move(body);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      });
+      result = bench::MeasureTransportThroughput(
+          transport, "127.0.0.1:0", shards, load, 200,
+          ordbuf::Backend::kPartitionRun, &metrics::Registry::Default());
+      done.store(true, std::memory_order_relaxed);
+      scraper.join();
     } else {
       net::LoopbackTransport transport;
       result = bench::MeasureTransportThroughput(transport, "fig2", shards,
@@ -385,13 +417,40 @@ bool RunTransportScan(const std::string& kind, bool smoke,
     }
     points->push_back({ordbuf::Backend::kPartitionRun, shards,
                        result.ops_per_sec, kind == "tcp" ? "tcp" : "loopback",
-                       result.ack_latency_us.mean()});
+                       result.ack_latency_us.Mean()});
     table.AddRow({kind, Table::Num(shards, 0),
                   Table::Num(result.ops_per_sec / 1000.0, 0),
-                  Table::Num(result.ack_latency_us.mean(), 0),
-                  Table::Num(result.ack_latency_us.max(), 0)});
+                  Table::Num(result.ack_latency_us.Mean(), 0),
+                  Table::Num(static_cast<double>(result.ack_latency_us.Max()),
+                             0)});
   }
   table.Print();
+  if (kind == "tcp") {
+    metrics_server.Stop();
+    // A mid-run scrape that is missing the key series means the endpoint or
+    // the instrumentation regressed — fail the smoke, not just the archive.
+    bool scrape_ok = !last_scrape.empty();
+    for (const char* name :
+         {"eunomia_net_frames_in_total", "eunomia_net_bytes_in_total",
+          "eunomia_server_ack_latency_microseconds_count",
+          "eunomia_service_ops_stabilized_total"}) {
+      bool found = false;
+      metrics::SeriesSum(last_scrape, name, &found);
+      scrape_ok = scrape_ok && found;
+      if (!found) {
+        std::printf("ERROR: mid-run scrape is missing series %s\n", name);
+      }
+    }
+    if (std::FILE* f = std::fopen("fig2_tcp_scrape.prom", "w")) {
+      std::fwrite(last_scrape.data(), 1, last_scrape.size(), f);
+      std::fclose(f);
+      std::printf("wrote fig2_tcp_scrape.prom (%zu bytes, scraped mid-run)\n",
+                  last_scrape.size());
+    } else {
+      std::printf("WARNING: could not write fig2_tcp_scrape.prom\n");
+    }
+    all_converged = all_converged && scrape_ok;
+  }
   if (!all_converged) {
     std::printf("ERROR: a transport configuration did not stabilize its load\n");
   }

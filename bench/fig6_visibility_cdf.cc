@@ -21,6 +21,7 @@
 #include "bench/flags.h"
 #include "src/harness/geo_experiment.h"
 #include "src/harness/table.h"
+#include "src/metrics/histogram.h"
 #include "src/workload/workload.h"
 
 namespace eunomia {
@@ -30,11 +31,22 @@ using harness::MakeSystem;
 using harness::SystemKind;
 using harness::Table;
 
+// The CDFs come from the tracker's exported visibility histograms — the
+// same series a live node scrapes as eunomia_georep_visibility_latency_
+// microseconds — so the figure and a production dashboard read one stream.
+// Log-linear buckets quantize quantiles to ~2% relative error, invisible at
+// the figure's millisecond scale.
 struct SystemCdfs {
   std::string name;
-  const Cdf* left = nullptr;   // dc0 -> dc1
-  const Cdf* right = nullptr;  // dc1 -> dc2
+  metrics::Histogram::Snapshot left;   // dc0 -> dc1
+  metrics::Histogram::Snapshot right;  // dc1 -> dc2
 };
+
+metrics::Histogram::Snapshot SnapPair(const geo::VisibilityTracker& tracker,
+                                      DatacenterId origin, DatacenterId dest) {
+  const metrics::Histogram* hist = tracker.VisibilityHistogram(origin, dest);
+  return hist != nullptr ? hist->Snap() : metrics::Histogram::Snapshot{};
+}
 
 // Machine-readable companion of the printed tables (same JSON shape as
 // BENCH_fig2.json / BENCH_fig5.json): per system x WAN leg, the visibility
@@ -52,20 +64,22 @@ void WriteBenchJson(bool smoke, const std::vector<SystemCdfs>& cdfs) {
   bool first = true;
   for (const auto& entry : cdfs) {
     for (const bool right : {false, true}) {
-      const Cdf* cdf = right ? entry.right : entry.left;
-      if (cdf == nullptr || cdf->count() == 0) {
+      const metrics::Histogram::Snapshot& cdf = right ? entry.right : entry.left;
+      if (cdf.count == 0) {
         continue;
       }
       if (!first) {
         std::fprintf(f, ",\n");
       }
       first = false;
-      std::fprintf(f,
-                   "    {\"system\": \"%s\", \"pair\": \"%s\", "
-                   "\"p50_ms\": %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f}",
-                   entry.name.c_str(), right ? "dc1->dc2" : "dc0->dc1",
-                   cdf->Quantile(0.50) / 1000.0, cdf->Quantile(0.95) / 1000.0,
-                   cdf->Quantile(0.99) / 1000.0);
+      std::fprintf(
+          f,
+          "    {\"system\": \"%s\", \"pair\": \"%s\", "
+          "\"p50_ms\": %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f}",
+          entry.name.c_str(), right ? "dc1->dc2" : "dc0->dc1",
+          static_cast<double>(cdf.Quantile(0.50)) / 1000.0,
+          static_cast<double>(cdf.Quantile(0.95)) / 1000.0,
+          static_cast<double>(cdf.Quantile(0.99)) / 1000.0);
     }
   }
   std::fprintf(f, "\n  ]\n}\n");
@@ -91,7 +105,6 @@ void Run(bool smoke) {
   const std::vector<SystemKind> systems = {
       SystemKind::kEunomiaKv, SystemKind::kGentleRain, SystemKind::kCure};
 
-  std::vector<harness::SystemUnderTest> suts;
   std::vector<SystemCdfs> cdfs;
   for (const SystemKind kind : systems) {
     auto sut = MakeSystem(kind, config, workload.seed);
@@ -103,10 +116,10 @@ void Run(bool smoke) {
     sut.sim->RunUntil(workload.duration_us + 2 * sim::kSecond);
     SystemCdfs entry;
     entry.name = harness::SystemName(kind);
-    entry.left = sut.system->tracker().Visibility(0, 1);
-    entry.right = sut.system->tracker().Visibility(1, 2);
-    cdfs.push_back(entry);
-    suts.push_back(std::move(sut));  // keep alive: cdfs point into trackers
+    // Snapshots are self-contained merges — the system can die here.
+    entry.left = SnapPair(sut.system->tracker(), 0, 1);
+    entry.right = SnapPair(sut.system->tracker(), 1, 2);
+    cdfs.push_back(std::move(entry));
   }
 
   for (const bool right : {false, true}) {
@@ -118,9 +131,12 @@ void Run(bool smoke) {
          {0.05, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99}) {
       std::vector<std::string> row = {Table::Num(q * 100, 0) + "%"};
       for (const auto& entry : cdfs) {
-        const Cdf* cdf = right ? entry.right : entry.left;
-        row.push_back(cdf != nullptr ? Table::Num(cdf->Quantile(q) / 1000.0, 1)
-                                     : "-");
+        const metrics::Histogram::Snapshot& cdf =
+            right ? entry.right : entry.left;
+        row.push_back(
+            cdf.count != 0
+                ? Table::Num(static_cast<double>(cdf.Quantile(q)) / 1000.0, 1)
+                : "-");
       }
       table.AddRow(std::move(row));
     }
@@ -128,8 +144,9 @@ void Run(bool smoke) {
   }
 
   // Headline numbers from the paper's discussion.
-  const auto at = [](const Cdf* cdf, double q) {
-    return cdf != nullptr ? cdf->Quantile(q) / 1000.0 : -1.0;
+  const auto at = [](const metrics::Histogram::Snapshot& cdf, double q) {
+    return cdf.count != 0 ? static_cast<double>(cdf.Quantile(q)) / 1000.0
+                          : -1.0;
   };
   std::printf(
       "\npaper reference points (dc0->dc1): EunomiaKV ~15 ms @95%%, Cure ~45 "

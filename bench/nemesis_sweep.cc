@@ -35,6 +35,8 @@
 #include "src/georep/geo_store.h"
 #include "src/georep/runtime/chaos/nemesis.h"
 #include "src/georep/runtime/geo_node.h"
+#include "src/metrics/metrics_server.h"
+#include "src/metrics/registry.h"
 #include "src/net/tcp_transport.h"
 
 namespace eunomia {
@@ -232,6 +234,11 @@ TcpScenarioResult RunTcpReconnectScenario(bool smoke) {
   options0.retain_peer_history = true;
   options0.reconnect_backoff_ms = 25;
   options0.reconnect_backoff_max_ms = 200;
+  // Both nodes instrumented: the post-scenario scrape (written to
+  // nemesis_tcp_scrape.prom, archived by the nightly job) must show the
+  // peer death in the counters — reconnects and history replay at dc0.
+  options0.metrics = &metrics::Registry::Default();
+  options0.metrics_interval_us = 50'000;
   GeoNode::Options options1 = options0;
   options1.dc = 1;
 
@@ -391,6 +398,29 @@ TcpScenarioResult RunTcpReconnectScenario(bool smoke) {
         result.windows.push_back({prev, gap_ms});
       }
       prev = t;
+    }
+  }
+
+  // Scrape the still-live nodes before teardown: the nightly job archives
+  // this exposition, which shows the peer death in counter form (dc0's
+  // reconnect + history replay, dc1's reinstalled updates).
+  {
+    metrics::MetricsServer metrics_server;
+    const std::string metrics_address = metrics_server.Start("127.0.0.1:0");
+    std::string scrape;
+    if (!metrics_address.empty() &&
+        metrics::HttpGet(metrics_address, "/metrics", &scrape)) {
+      if (std::FILE* f = std::fopen("nemesis_tcp_scrape.prom", "w")) {
+        std::fwrite(scrape.data(), 1, scrape.size(), f);
+        std::fclose(f);
+        std::printf(
+            "wrote nemesis_tcp_scrape.prom (%zu bytes; georep "
+            "reconnects=%.0f, replayed frames=%.0f)\n",
+            scrape.size(),
+            metrics::SeriesSum(scrape, "eunomia_georep_reconnects_total"),
+            metrics::SeriesSum(scrape,
+                               "eunomia_georep_replayed_frames_total"));
+      }
     }
   }
 

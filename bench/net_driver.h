@@ -6,18 +6,20 @@
 // — a partition must stay on one connection) races the shared FixedLoad
 // through the socket hop; the measurement is start-to-fully-stabilized on
 // the server side, exactly like the in-process scan, so the numbers are
-// directly comparable. Per-connection ack round-trip stats are merged with
-// OnlineStats::Merge so min/max survive aggregation.
+// directly comparable. All connections record ack round-trip latency into
+// one shared metrics::Histogram (recording is wait-free), so there is no
+// per-client merge step.
 #pragma once
 
 #include <atomic>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
-#include "src/common/sync.h"
 
 #include "bench/service_driver.h"
-#include "src/common/stats.h"
+#include "src/metrics/histogram.h"
+#include "src/metrics/registry.h"
 #include "src/net/eunomia_client.h"
 #include "src/net/eunomia_server.h"
 
@@ -25,20 +27,25 @@ namespace eunomia::bench {
 
 struct TransportRunResult {
   double ops_per_sec = 0.0;  // 0 => a client failed or the load never stabilized
-  OnlineStats ack_latency_us;
+  metrics::Histogram::Snapshot ack_latency_us;
 };
 
 inline TransportRunResult MeasureTransportThroughput(
     net::Transport& transport, const std::string& listen_address,
     std::uint32_t num_shards, const FixedLoad& load,
     std::uint64_t stable_period_us = 200,
-    ordbuf::Backend backend = ordbuf::Backend::kPartitionRun) {
+    ordbuf::Backend backend = ordbuf::Backend::kPartitionRun,
+    metrics::Registry* metrics = nullptr) {
   TransportRunResult result;
   net::EunomiaServer::Options options;
   options.num_partitions = load.num_partitions;
   options.num_shards = num_shards;
   options.stable_period_us = stable_period_us;
   options.buffer_backend = backend;
+  // When set, the server + service register their series here (the net
+  // layer's frame counters are always on in Registry::Default()); the CI
+  // fig2 TCP smoke scrapes this mid-run into a .prom artifact.
+  options.metrics = metrics;
   net::EunomiaServer server(&transport, options);
   const std::string address = server.Start(listen_address);
   if (address.empty()) {
@@ -46,12 +53,19 @@ inline TransportRunResult MeasureTransportThroughput(
   }
   const std::uint64_t start = NowMicros();
   std::atomic<bool> all_ok{true};
-  eunomia::sync::Mutex stats_mu{"net_driver::stats_mu", eunomia::sync::kRankLeaf};
+  // Every connection records into this one histogram; snapped into the
+  // result after the producers join.
+  const auto ack_latency = std::make_shared<metrics::Histogram>(
+      "bench_net_ack_latency_microseconds",
+      "Batch ack round-trip latency across all driver connections");
   std::vector<std::thread> producers;
   producers.reserve(load.num_partitions);
   for (std::uint32_t p = 0; p < load.num_partitions; ++p) {
     producers.emplace_back([&, p] {
-      net::EunomiaClient client(&transport, address, {});
+      net::EunomiaClient::Options client_options;
+      client_options.ack_latency_us = ack_latency;
+      net::EunomiaClient client(&transport, address,
+                                std::move(client_options));
       if (!client.Connect()) {
         all_ok.store(false);
         return;
@@ -63,19 +77,13 @@ inline TransportRunResult MeasureTransportThroughput(
       if (!client.WaitForAcks()) {
         all_ok.store(false);
       }
-      // ack_latency_us() takes the client session lock (rank above
-      // stats_mu's): snapshot it first, merge under stats_mu alone.
-      const OnlineStats client_acks = client.ack_latency_us();
-      {
-        eunomia::sync::MutexLock lock(stats_mu);
-        result.ack_latency_us.Merge(client_acks);
-      }
       client.Close();
     });
   }
   for (auto& producer : producers) {
     producer.join();
   }
+  result.ack_latency_us = ack_latency->Snap();
   const std::uint64_t deadline = NowMicros() + 120'000'000ULL;
   while (server.ops_stabilized() < load.total_ops() && NowMicros() < deadline) {
     std::this_thread::sleep_for(std::chrono::microseconds(200));

@@ -26,6 +26,11 @@
 //                      --data-dir)
 //   --addr-file=PATH   write the bound address to PATH once listening
 //                      (ephemeral-port orchestration, used by --crash-smoke)
+//   --metrics-port=N   serve GET /metrics (Prometheus text exposition) and
+//                      GET /healthz on --host:N (0 = ephemeral) and register
+//                      the service's per-shard/per-partition series
+//   --metrics-addr-file=PATH  write the bound metrics address to PATH
+//                      (requires --metrics-port; used by --crash-smoke)
 //   --smoke            self-drive: bind an ephemeral port, run a small
 //                      multi-connection workload through net::EunomiaClient
 //                      over real sockets, verify the stable stream arrives
@@ -45,6 +50,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <set>
@@ -55,6 +61,8 @@
 #include "src/common/sync.h"
 
 #include "bench/flags.h"
+#include "src/metrics/metrics_server.h"
+#include "src/metrics/registry.h"
 #include "src/net/eunomia_client.h"
 #include "src/net/eunomia_server.h"
 #include "src/net/tcp_transport.h"
@@ -67,6 +75,8 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+
+using eunomia::metrics::SeriesSum;
 
 bool ParseBackend(const std::string& name, eunomia::ordbuf::Backend* backend) {
   using eunomia::ordbuf::Backend;
@@ -90,6 +100,13 @@ int RunSmoke(eunomia::net::EunomiaServer::Options options) {
   using namespace eunomia;
   options.num_partitions = 4;
   options.stable_period_us = 200;
+  options.metrics = &metrics::Registry::Default();
+  metrics::MetricsServer metrics_server;
+  const std::string metrics_address = metrics_server.Start("127.0.0.1:0");
+  if (metrics_address.empty()) {
+    std::fprintf(stderr, "eunomiad --smoke: could not bind a metrics port\n");
+    return 1;
+  }
   net::TcpTransport transport;
   net::EunomiaServer server(&transport, options);
   const std::string address = server.Start("127.0.0.1:0");
@@ -97,7 +114,8 @@ int RunSmoke(eunomia::net::EunomiaServer::Options options) {
     std::fprintf(stderr, "eunomiad --smoke: could not bind a port\n");
     return 1;
   }
-  std::printf("eunomiad --smoke: serving on %s\n", address.c_str());
+  std::printf("eunomiad --smoke: serving on %s, metrics on %s\n",
+              address.c_str(), metrics_address.c_str());
 
   eunomia::sync::Mutex mu{"eunomiad::mu", eunomia::sync::kRankLeaf};
   std::vector<OpRecord> stable;
@@ -146,6 +164,13 @@ int RunSmoke(eunomia::net::EunomiaServer::Options options) {
   for (auto& producer : producers) {
     producer.join();
   }
+  // Mid-run scrape: every batch is in, the stable stream may still be
+  // draining. The second scrape below must never show a smaller counter.
+  std::string scrape1;
+  if (!metrics::HttpGet(metrics_address, "/metrics", &scrape1)) {
+    std::fprintf(stderr, "eunomiad --smoke: mid-run GET /metrics failed\n");
+    return 1;
+  }
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(30);
   while (subscriber.stable_ops_received() < total &&
@@ -163,21 +188,59 @@ int RunSmoke(eunomia::net::EunomiaServer::Options options) {
   }
   const std::uint64_t received = subscriber.stable_ops_received();
   const bool stream_ok = !subscriber.stream_broken();
+
+  // Self-scrape: the endpoint must serve /healthz and a text exposition in
+  // which the key series exist and the counters never moved backwards
+  // between the two scrapes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // a shard tick
+  std::string health;
+  std::string scrape2;
+  bool metrics_ok = metrics::HttpGet(metrics_address, "/healthz", &health) &&
+                    health == "ok\n" &&
+                    metrics::HttpGet(metrics_address, "/metrics", &scrape2);
+  if (metrics_ok) {
+    metrics_ok =
+        SeriesSum(scrape2, "eunomia_server_ack_latency_microseconds_count") >
+            0 &&
+        SeriesSum(scrape2, "eunomia_net_frames_in_total") > 0;
+    if (!options.fault_tolerant) {
+      // Service-level series ride the non-FT path only.
+      bool lag_found = false;
+      bool occupancy_found = false;
+      SeriesSum(scrape2, "eunomia_service_partition_frontier_lag", &lag_found);
+      SeriesSum(scrape2, "eunomia_service_ordbuf_occupancy", &occupancy_found);
+      metrics_ok =
+          metrics_ok && lag_found && occupancy_found &&
+          SeriesSum(scrape2, "eunomia_service_ops_stabilized_total") > 0;
+    }
+    for (const char* counter :
+         {"eunomia_service_ops_received_total",
+          "eunomia_service_ops_stabilized_total", "eunomia_net_frames_in_total",
+          "eunomia_net_bytes_out_total",
+          "eunomia_server_ack_latency_microseconds_count"}) {
+      metrics_ok =
+          metrics_ok && SeriesSum(scrape2, counter) >= SeriesSum(scrape1, counter);
+    }
+  }
+
   subscriber.Close();
   server.Stop();
-  if (!ok.load() || received != total || !ordered || !stream_ok) {
+  metrics_server.Stop();
+  if (!ok.load() || received != total || !ordered || !stream_ok ||
+      !metrics_ok) {
     std::fprintf(stderr,
                  "eunomiad --smoke: FAILED (clients ok=%d, received %llu/%llu, "
-                 "ordered=%d, stream intact=%d)\n",
+                 "ordered=%d, stream intact=%d, metrics ok=%d)\n",
                  ok.load() ? 1 : 0, static_cast<unsigned long long>(received),
                  static_cast<unsigned long long>(total), ordered ? 1 : 0,
-                 stream_ok ? 1 : 0);
+                 stream_ok ? 1 : 0, metrics_ok ? 1 : 0);
     return 1;
   }
   std::printf(
       "eunomiad --smoke: OK — %llu ops over %u TCP connections, stable "
-      "stream complete and in (ts, partition) order\n",
-      static_cast<unsigned long long>(total), 4u);
+      "stream complete and in (ts, partition) order; /metrics served %zu "
+      "bytes with key series present and monotone\n",
+      static_cast<unsigned long long>(total), 4u, scrape2.size());
   return 0;
 }
 
@@ -221,9 +284,12 @@ pid_t SpawnDurableServer(const std::string& exe, const std::string& data_dir,
   prctl(PR_SET_PDEATHSIG, SIGKILL);  // no orphaned servers if the parent dies
   const std::string data_dir_arg = "--data-dir=" + data_dir;
   const std::string addr_file_arg = "--addr-file=" + addr_file;
+  const std::string metrics_file_arg =
+      "--metrics-addr-file=" + data_dir + "/metrics-address";
   execl(exe.c_str(), exe.c_str(), "--port=0", "--partitions=2",
-        "--period-us=200", "--fsync=commit", data_dir_arg.c_str(),
-        addr_file_arg.c_str(), static_cast<char*>(nullptr));
+        "--period-us=200", "--fsync=commit", "--metrics-port=0",
+        data_dir_arg.c_str(), addr_file_arg.c_str(), metrics_file_arg.c_str(),
+        static_cast<char*>(nullptr));
   _exit(127);
 }
 
@@ -356,6 +422,8 @@ int RunCrashSmoke() {
   waitpid(child, &status, 0);
   churn_thread.join();
   std::remove(addr_file.c_str());
+  const std::string metrics_addr_file = data_dir + "/metrics-address";
+  std::remove(metrics_addr_file.c_str());
   std::printf("eunomiad --crash-smoke: killed -9 mid-churn, respawning on the "
               "same data dir\n");
 
@@ -366,6 +434,22 @@ int RunCrashSmoke() {
                  "eunomiad --crash-smoke: child did not recover/restart\n");
     cleanup();
     return 1;
+  }
+
+  // Recovery runs in the child's server construction, before it listens: by
+  // the time the address files exist its recovery counters are final. Both
+  // must be nonzero — wave 1 is on disk and nowhere else.
+  bool recovery_counted = false;
+  {
+    const std::string metrics_address =
+        AwaitAddress(metrics_addr_file, child);
+    std::string scrape;
+    if (!metrics_address.empty() &&
+        metrics::HttpGet(metrics_address, "/metrics", &scrape)) {
+      recovery_counted =
+          SeriesSum(scrape, "eunomia_wal_recovered_records_total") > 0 &&
+          SeriesSum(scrape, "eunomia_service_recovered_batches_total") > 0;
+    }
   }
 
   // Subscribe first, release the frontier second: every recovered op is
@@ -453,18 +537,20 @@ int RunCrashSmoke() {
   cleanup();
 
   if (!wave1_recovered || !wave2_arrived || !ordered || !only_submitted ||
-      !stream_ok) {
+      !stream_ok || !recovery_counted) {
     std::fprintf(stderr,
                  "eunomiad --crash-smoke: FAILED (wave1 recovered=%d, wave2=%d,"
-                 " ordered=%d, only_submitted=%d, stream intact=%d, seen=%zu)\n",
+                 " ordered=%d, only_submitted=%d, stream intact=%d,"
+                 " recovery counters=%d, seen=%zu)\n",
                  wave1_recovered ? 1 : 0, wave2_arrived ? 1 : 0,
                  ordered ? 1 : 0, only_submitted ? 1 : 0, stream_ok ? 1 : 0,
-                 seen.size());
+                 recovery_counted ? 1 : 0, seen.size());
     return 1;
   }
   std::printf(
       "eunomiad --crash-smoke: OK — all %zu acked pre-kill ops re-emitted "
-      "after kill -9 + recovery, %zu live ops followed, stream in order\n",
+      "after kill -9 + recovery (recovery counters nonzero on /metrics), "
+      "%zu live ops followed, stream in order\n",
       wave1.size(), wave2.size());
   return 0;
 }
@@ -475,7 +561,8 @@ int main(int argc, char** argv) {
   eunomia::bench::Flags flags(
       argc, argv,
       {"host", "port", "partitions", "shards", "buffer", "period-us", "ft",
-       "replicas", "data-dir", "fsync", "addr-file", "smoke", "crash-smoke"});
+       "replicas", "data-dir", "fsync", "addr-file", "metrics-port",
+       "metrics-addr-file", "smoke", "crash-smoke"});
   if (!flags.ok()) {
     return flags.FailUsage();
   }
@@ -524,6 +611,15 @@ int main(int argc, char** argv) {
   if (flags.smoke()) {
     return RunSmoke(options);
   }
+  if (flags.Has("metrics-addr-file") && !flags.Has("metrics-port")) {
+    std::fprintf(stderr, "--metrics-addr-file requires --metrics-port\n");
+    return 2;
+  }
+  // Before the server is constructed: the hosted service registers its
+  // per-shard/per-partition series at construction.
+  if (flags.Has("metrics-port")) {
+    options.metrics = &eunomia::metrics::Registry::Default();
+  }
 
   const std::string address = flags.Get("host", "127.0.0.1") + ":" +
                               std::to_string(flags.GetUint("port", 7777));
@@ -536,15 +632,36 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  // Temp-then-rename so a polling orchestrator never reads a partial write.
+  const auto publish_address = [](const std::string& path,
+                                  const std::string& value) {
+    const std::string tmp = path + ".tmp";
+    if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+      std::fprintf(f, "%s\n", value.c_str());
+      std::fclose(f);
+      std::rename(tmp.c_str(), path.c_str());
+    }
+  };
+  eunomia::metrics::MetricsServer metrics_server;
+  if (flags.Has("metrics-port")) {
+    const std::string metrics_bound = metrics_server.Start(
+        flags.Get("host", "127.0.0.1") + ":" +
+        std::to_string(flags.GetUint("metrics-port", 0)));
+    if (metrics_bound.empty()) {
+      std::fprintf(stderr, "eunomiad: could not bind --metrics-port\n");
+      server.Stop();
+      return 1;
+    }
+    std::printf("eunomiad: metrics on http://%s/metrics\n",
+                metrics_bound.c_str());
+    const std::string metrics_addr_file = flags.Get("metrics-addr-file", "");
+    if (!metrics_addr_file.empty()) {
+      publish_address(metrics_addr_file, metrics_bound);
+    }
+  }
   const std::string addr_file = flags.Get("addr-file", "");
   if (!addr_file.empty()) {
-    // Temp-then-rename so a polling orchestrator never reads a partial write.
-    const std::string tmp = addr_file + ".tmp";
-    if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
-      std::fprintf(f, "%s\n", bound.c_str());
-      std::fclose(f);
-      std::rename(tmp.c_str(), addr_file.c_str());
-    }
+    publish_address(addr_file, bound);
   }
   std::printf("eunomiad: serving %u partitions on %s (%s, %s%s%s)\n",
               options.num_partitions, bound.c_str(),
@@ -571,6 +688,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("eunomiad: shutting down\n");
+  metrics_server.Stop();
   server.Stop();
   return 0;
 }

@@ -26,11 +26,17 @@
 //                    peers), truncated by their durable acks.
 //   --fsync=POLICY   commit | interval | off  (default commit; needs
 //                    --data-dir)
+//   --metrics-port=N serve GET /metrics (Prometheus text exposition) and
+//                    GET /healthz on the listen host at port N (0 =
+//                    ephemeral) and register the node's per-dc series
+//                    (visibility histograms, receiver queue depths,
+//                    replay/reconnect counters)
 //   --smoke          self-drive: spin up the whole multi-DC deployment
 //                    in-process over ephemeral TCP ports, run causally
 //                    chained clients at every datacenter, verify causal
-//                    visibility order and store convergence, exit 0/1.
-//                    Used by ctest/CI.
+//                    visibility order and store convergence, and check the
+//                    deployment's own /metrics endpoint for the key series
+//                    (present and monotone), exit 0/1. Used by ctest/CI.
 //
 // The daemon runs until SIGINT/SIGTERM, printing a stats line every ~5 s.
 #include <atomic>
@@ -46,6 +52,8 @@
 
 #include "bench/flags.h"
 #include "src/georep/runtime/geo_node.h"
+#include "src/metrics/metrics_server.h"
+#include "src/metrics/registry.h"
 #include "src/net/tcp_transport.h"
 
 namespace {
@@ -53,6 +61,8 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 
 void HandleSignal(int) { g_stop = 1; }
+
+using eunomia::metrics::SeriesSum;
 
 std::vector<std::string> SplitCsv(const std::string& csv) {
   std::vector<std::string> out;
@@ -81,14 +91,28 @@ int RunSmoke(std::uint32_t num_dcs, std::uint32_t partitions) {
   config.delta_us = 200;
   config.rho_us = 200;
 
+  metrics::MetricsServer metrics_server;
+  const std::string metrics_address = metrics_server.Start("127.0.0.1:0");
+  if (metrics_address.empty()) {
+    std::fprintf(stderr, "georepd --smoke: could not bind a metrics port\n");
+    return 1;
+  }
+
   std::vector<std::unique_ptr<net::TcpTransport>> transports;
   std::vector<std::unique_ptr<geo::rt::GeoNode>> nodes;
   std::vector<std::string> addresses;
   for (DatacenterId m = 0; m < num_dcs; ++m) {
     transports.push_back(std::make_unique<net::TcpTransport>());
-    nodes.push_back(std::make_unique<geo::rt::GeoNode>(
-        transports.back().get(),
-        geo::rt::GeoNode::Options{m, config, /*detailed_visibility=*/true}));
+    geo::rt::GeoNode::Options node_options;
+    node_options.dc = m;
+    node_options.config = config;
+    node_options.detailed_visibility = true;
+    // All nodes share the process registry: series are per-dc labeled. A
+    // fast mirror tick so the short smoke run sees fresh values.
+    node_options.metrics = &metrics::Registry::Default();
+    node_options.metrics_interval_us = 50'000;
+    nodes.push_back(std::make_unique<geo::rt::GeoNode>(transports.back().get(),
+                                                       node_options));
     addresses.push_back(nodes.back()->Listen("127.0.0.1:0"));
     if (addresses.back().empty()) {
       std::fprintf(stderr, "georepd --smoke: dc%u could not bind a port\n", m);
@@ -106,6 +130,12 @@ int RunSmoke(std::uint32_t num_dcs, std::uint32_t partitions) {
   }
   for (auto& node : nodes) {
     node->Start();
+  }
+  // Early scrape: the counters below must never move backwards from here.
+  std::string scrape1;
+  if (!metrics::HttpGet(metrics_address, "/metrics", &scrape1)) {
+    std::fprintf(stderr, "georepd --smoke: early GET /metrics failed\n");
+    return 1;
   }
   std::printf("georepd --smoke: %u datacenters over TCP (", num_dcs);
   for (DatacenterId m = 0; m < num_dcs; ++m) {
@@ -202,29 +232,63 @@ int RunSmoke(std::uint32_t num_dcs, std::uint32_t partitions) {
       identical = identical && dc0 == snapshot(d);
     }
   }
+  // Self-scrape: let two mirror ticks pass so the gauges/counters reflect
+  // the converged state, then assert the key per-dc series are present and
+  // the counters are monotone across the run.
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  std::string health;
+  std::string scrape2;
+  bool metrics_ok = metrics::HttpGet(metrics_address, "/healthz", &health) &&
+                    health == "ok\n" &&
+                    metrics::HttpGet(metrics_address, "/metrics", &scrape2);
+  if (metrics_ok) {
+    bool buffered_found = false;
+    bool pending_found = false;
+    SeriesSum(scrape2, "eunomia_georep_buffered_payloads", &buffered_found);
+    SeriesSum(scrape2, "eunomia_georep_pending_applies", &pending_found);
+    metrics_ok =
+        buffered_found && pending_found &&
+        SeriesSum(scrape2,
+                  "eunomia_georep_visibility_latency_microseconds_count") >
+            0 &&
+        SeriesSum(scrape2, "eunomia_georep_updates_installed_total") > 0 &&
+        SeriesSum(scrape2, "eunomia_net_frames_in_total") > 0;
+    for (const char* counter :
+         {"eunomia_georep_updates_installed_total",
+          "eunomia_georep_visibility_latency_microseconds_count",
+          "eunomia_net_frames_in_total", "eunomia_net_bytes_out_total"}) {
+      metrics_ok = metrics_ok &&
+                   SeriesSum(scrape2, counter) >= SeriesSum(scrape1, counter);
+    }
+  }
+
   std::uint64_t wire_errors = 0;
   for (auto& node : nodes) {
     wire_errors += node->wire_errors() + node->send_failures();
     node->Stop();
   }
+  metrics_server.Stop();
   // The driver chains are self-referential (each function captures the
   // shared_ptr that owns it); with every event loop joined, break the
   // cycles so the sessions they capture can be reclaimed.
   for (auto& issue : issues) {
     *issue = nullptr;
   }
-  if (!converged || !ordered || !identical || wire_errors != 0) {
+  if (!converged || !ordered || !identical || wire_errors != 0 ||
+      !metrics_ok) {
     std::fprintf(stderr,
                  "georepd --smoke: FAILED (converged=%d ordered=%d "
-                 "identical=%d wire_errors=%llu)\n",
+                 "identical=%d wire_errors=%llu metrics_ok=%d)\n",
                  converged ? 1 : 0, ordered ? 1 : 0, identical ? 1 : 0,
-                 static_cast<unsigned long long>(wire_errors));
+                 static_cast<unsigned long long>(wire_errors),
+                 metrics_ok ? 1 : 0);
     return 1;
   }
   std::printf(
       "georepd --smoke: OK — %d updates per DC over %u DCs, causal order "
-      "preserved, stores identical (%d ops/DC driven)\n",
-      kOpsPerDc, num_dcs, updates_done.load());
+      "preserved, stores identical (%d ops/DC driven); /metrics served %zu "
+      "bytes with key series present and monotone\n",
+      kOpsPerDc, num_dcs, updates_done.load(), scrape2.size());
   return 0;
 }
 
@@ -233,7 +297,7 @@ int RunSmoke(std::uint32_t num_dcs, std::uint32_t partitions) {
 int main(int argc, char** argv) {
   eunomia::bench::Flags flags(argc, argv,
                               {"dc", "dcs", "partitions", "listen", "peers",
-                               "data-dir", "fsync", "smoke"});
+                               "data-dir", "fsync", "metrics-port", "smoke"});
   if (!flags.ok()) {
     return flags.FailUsage();
   }
@@ -280,6 +344,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--fsync requires --data-dir\n");
     return 2;
   }
+  if (flags.Has("metrics-port")) {
+    node_options.metrics = &eunomia::metrics::Registry::Default();
+  }
   eunomia::net::TcpTransport transport;
   eunomia::geo::rt::GeoNode node(&transport, node_options);
   const std::string bound =
@@ -288,6 +355,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "georepd: could not listen on %s\n",
                  flags.Get("listen", "127.0.0.1:9100").c_str());
     return 1;
+  }
+  eunomia::metrics::MetricsServer metrics_server;
+  if (flags.Has("metrics-port")) {
+    // Same host as the data listener, the metrics port next to it.
+    const std::string listen = flags.Get("listen", "127.0.0.1:9100");
+    const std::size_t colon = listen.rfind(':');
+    const std::string host =
+        colon == std::string::npos ? "127.0.0.1" : listen.substr(0, colon);
+    const std::string metrics_bound = metrics_server.Start(
+        host + ":" + std::to_string(flags.GetUint("metrics-port", 0)));
+    if (metrics_bound.empty()) {
+      std::fprintf(stderr, "georepd: could not bind --metrics-port\n");
+      return 1;
+    }
+    std::printf("georepd: metrics on http://%s/metrics\n",
+                metrics_bound.c_str());
   }
   std::printf("georepd: dc%u serving %u partitions on %s%s%s\n", dc,
               partitions, bound.c_str(),
@@ -331,6 +414,7 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("georepd: shutting down\n");
+  metrics_server.Stop();
   node.Stop();
   return 0;
 }

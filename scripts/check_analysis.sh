@@ -12,7 +12,7 @@
 #
 # thread-safety configures (if needed) and builds the tree with clang and
 # -Werror=thread-safety-analysis; negative-compile proves the analysis is
-# actually armed by compiling tests/sync_negative_compile.cc three ways, each
+# actually armed by compiling tests/sync_negative_compile.cc four ways, each
 # of which MUST fail; tidy runs clang-tidy over every first-party TU in the
 # build's compile_commands.json with warnings as errors; format checks
 # clang-format cleanliness without rewriting anything.
@@ -46,7 +46,7 @@ check_negative_compile() {
   # that compiles means the analysis is silently off and the whole clang job
   # is vacuous.
   local probe
-  for probe in 1 2 3; do
+  for probe in 1 2 3 4; do
     if clang++ -std=c++20 -I. -Wthread-safety -Werror=thread-safety-analysis \
         -DEUNOMIA_NEGATIVE_COMPILE="${probe}" \
         -c tests/sync_negative_compile.cc -o /dev/null 2>/dev/null; then

@@ -108,6 +108,7 @@ inline constexpr LockRank kRankSeqRequest = 900;    // blocking RPC requests
 inline constexpr LockRank kRankWalSnapshot = 920;   // ServiceWal snapshot queue
 inline constexpr LockRank kRankWalWriter = 930;     // wal::LogWriter queue
 inline constexpr LockRank kRankWalDisk = 940;       // wal::MemDisk file map
+inline constexpr LockRank kRankMetricsRegistry = 950;  // metrics::Registry
 inline constexpr LockRank kRankLeaf = 1000;         // sinks, probes, stats
 
 class Mutex;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <string>
+
+#include "src/metrics/registry.h"
 
 namespace eunomia {
 
@@ -84,6 +87,41 @@ EunomiaService::EunomiaService(Options options) : options_(std::move(options)) {
     merge_.shard_stable.assign(shards, 0);
     merge_.staged.resize(shards);
   }
+  if (options_.metrics != nullptr) {
+    metrics::Registry& registry = *options_.metrics;
+    telemetry_ = std::make_unique<Telemetry>();
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      const metrics::Labels labels = {{"shard", std::to_string(s)}};
+      telemetry_->shard_ops_received.push_back(registry.AddCounter(
+          "eunomia_service_ops_received_total",
+          "Ops ingested into the shard's stabilization core", labels));
+      telemetry_->shard_ops_emitted.push_back(registry.AddCounter(
+          "eunomia_service_ops_emitted_total",
+          "Ops the shard extracted as stable", labels));
+      telemetry_->shard_occupancy.push_back(registry.AddGauge(
+          "eunomia_service_ordbuf_occupancy",
+          "Ops buffered in the shard's ordered buffer, pending stability",
+          labels));
+    }
+    for (std::uint32_t p = 0; p < partitions; ++p) {
+      telemetry_->partition_lag.push_back(registry.AddGauge(
+          "eunomia_service_partition_frontier_lag",
+          "Timestamp distance (us) by which the partition's reported time "
+          "leads the global stable frontier; the partition pinned at 0 is "
+          "the straggler gating stabilization",
+          {{"partition", std::to_string(p)}}));
+    }
+    telemetry_->merge_queue_depth = registry.AddGauge(
+        "eunomia_service_merge_queue_depth",
+        "Stable ops staged at the merge gate, waiting for the global "
+        "minimum to pass them");
+    telemetry_->ops_stabilized = registry.AddCounter(
+        "eunomia_service_ops_stabilized_total",
+        "Ops emitted in global (timestamp, partition) order");
+    telemetry_->recovered_batches = registry.AddCounter(
+        "eunomia_service_recovered_batches_total",
+        "Accepted-but-unstable batches replayed from the WAL at startup");
+  }
   if (options_.durability.disk != nullptr) {
     wal_ = std::make_unique<ServiceWal>(partitions, options_.durability);
     ServiceWal::Recovered recovered = wal_->Recover();
@@ -98,6 +136,9 @@ EunomiaService::EunomiaService(Options options) : options_(std::move(options)) {
       Shard& shard = *shards_[shard_of_partition_[p]];
       for (auto& batch : recovered.batches[p]) {
         shard.core.AddBatch(batch);
+        if (telemetry_) {
+          telemetry_->recovered_batches->Increment();
+        }
       }
       if (recovered.heartbeats[p] > 0) {
         shard.core.Heartbeat(p, recovered.heartbeats[p]);
@@ -249,6 +290,12 @@ void EunomiaService::ShardLoop(std::uint32_t shard_index) {
   // thread ever advances it), so the publish-needed test below does not have
   // to take merge_.mu on idle ticks.
   Timestamp published_stable = 0;
+  // Last values mirrored into the telemetry counters (counters are deltas
+  // of the core's cumulative numbers, applied every 64th tick — see the
+  // telemetry block below).
+  std::uint64_t mirrored_received = 0;
+  std::uint64_t mirrored_emitted = 0;
+  std::uint64_t telemetry_tick = 0;
   while (running_.load(std::memory_order_relaxed)) {
     {
       // Sleep until a submission/heartbeat for this shard arrives; the
@@ -314,6 +361,30 @@ void EunomiaService::ShardLoop(std::uint32_t shard_index) {
       }
       merge_.cv.NotifyOne();
     }
+    if (telemetry_ && (++telemetry_tick & 63) == 0) {
+      // Mirrored every 64th tick, not every tick: under load the loop wakes
+      // per submission, and a per-wake O(partitions) gauge refresh is the
+      // kind of cost the <=2% overhead gate (bench/metrics_overhead) exists
+      // to catch. Scrapes sample at seconds granularity; 64 ticks of
+      // staleness is invisible to them.
+      const std::uint64_t received = shard.core.ops_received();
+      const std::uint64_t emitted = shard.core.ops_emitted();
+      telemetry_->shard_ops_received[shard_index]->Add(received -
+                                                       mirrored_received);
+      telemetry_->shard_ops_emitted[shard_index]->Add(emitted -
+                                                      mirrored_emitted);
+      mirrored_received = received;
+      mirrored_emitted = emitted;
+      telemetry_->shard_occupancy[shard_index]->Set(
+          static_cast<std::int64_t>(shard.core.pending_ops()));
+      const Timestamp global = global_stable_.load(std::memory_order_relaxed);
+      for (std::uint32_t p = shard.first_partition;
+           p < shard.first_partition + shard.num_partitions; ++p) {
+        const Timestamp seen = shard.core.partition_time(p);
+        telemetry_->partition_lag[p]->Set(
+            seen > global ? static_cast<std::int64_t>(seen - global) : 0);
+      }
+    }
   }
 }
 
@@ -348,6 +419,7 @@ void EunomiaService::MergeLoop() {
       } else {
         const Timestamp global = *std::min_element(merge_.shard_stable.begin(),
                                                    merge_.shard_stable.end());
+        global_stable_.store(global, std::memory_order_relaxed);
         if (global > kTimestampZero) {
           for (std::size_t s = 0; s < merge_.staged.size(); ++s) {
             auto& queue = merge_.staged[s];
@@ -357,6 +429,13 @@ void EunomiaService::MergeLoop() {
             }
           }
         }
+      }
+      if (telemetry_) {
+        std::size_t staged = 0;
+        for (const auto& queue : merge_.staged) {
+          staged += queue.size();
+        }
+        telemetry_->merge_queue_depth->Set(static_cast<std::int64_t>(staged));
       }
     }
     // K-way merge of the detached per-shard sorted streams. Ties across
@@ -397,6 +476,9 @@ void EunomiaService::MergeLoop() {
     }
     if (!emit.empty()) {
       ops_stabilized_.fetch_add(emit.size(), std::memory_order_relaxed);
+      if (telemetry_) {
+        telemetry_->ops_stabilized->Add(emit.size());
+      }
       fanout_.Emit(emit);
       if (wal_) {
         // Advance the durable frontier; periodically snapshots the mark and

@@ -41,6 +41,12 @@
 #include "src/eunomia/op.h"
 #include "src/eunomia/replica.h"
 #include "src/eunomia/service_wal.h"
+#include "src/metrics/counter.h"
+#include "src/metrics/gauge.h"
+
+namespace eunomia::metrics {
+class Registry;
+}
 
 namespace eunomia {
 
@@ -86,6 +92,14 @@ class EunomiaService {
     // last snapshot may re-emit after a crash (at-least-once, dedup by
     // (ts, partition)). disk == nullptr keeps the service purely in-memory.
     ServiceDurability durability;
+    // Observability (docs/METRICS.md §eunomia). When set, the service
+    // registers per-shard submit/emit counters, per-partition stable-
+    // frontier lag gauges, ordbuf occupancy and merge-queue depth into this
+    // registry and refreshes them once per pipeline tick (delta-mirroring
+    // the cores' cumulative counters — never per-op work). Null: no
+    // instrumentation at all, which is the baseline the ≤2% overhead gate
+    // (bench/metrics_overhead) compares against.
+    metrics::Registry* metrics = nullptr;
   };
 
   explicit EunomiaService(Options options);
@@ -204,12 +218,28 @@ class EunomiaService {
   };
   static constexpr std::size_t kBatchPoolCap = 64;
 
+  // Series registered when Options::metrics is set; all updates are relaxed
+  // atomic writes performed once per shard/merge tick.
+  struct Telemetry {
+    std::vector<std::shared_ptr<metrics::Counter>> shard_ops_received;
+    std::vector<std::shared_ptr<metrics::Counter>> shard_ops_emitted;
+    std::vector<std::shared_ptr<metrics::Gauge>> shard_occupancy;
+    std::vector<std::shared_ptr<metrics::Gauge>> partition_lag;
+    std::shared_ptr<metrics::Gauge> merge_queue_depth;
+    std::shared_ptr<metrics::Counter> ops_stabilized;
+    std::shared_ptr<metrics::Counter> recovered_batches;
+  };
+
   void ShardLoop(std::uint32_t shard_index);
   void MergeLoop();
   void WakeShard(std::uint32_t shard_index);
   void RecycleBatches(std::vector<std::vector<OpRecord>>* drained);
 
   Options options_;
+  std::unique_ptr<Telemetry> telemetry_;  // null when metrics are off
+  // Latest global-min stable time, published by the merge thread so shard
+  // ticks can compute per-partition frontier lag without taking merge_.mu.
+  std::atomic<Timestamp> global_stable_{0};
   // Durability pipeline; nullptr when Options::durability.disk is unset.
   std::unique_ptr<ServiceWal> wal_;
   // Recovery artifacts, fixed at construction: stable ops at or below the

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "src/clock/physical_clock.h"
 #include "src/georep/runtime/geo_wire.h"
+#include "src/metrics/registry.h"
 
 namespace eunomia::geo::rt {
 
@@ -31,6 +33,43 @@ GeoNode::GeoNode(net::Transport* transport, Options options)
   // trackers, never to ours: retaining origin records here would leak one
   // entry per local update for the daemon's lifetime.
   tracker_.DisableInstallRetention();
+  if (options_.metrics != nullptr) {
+    tracker_.AttachMetrics(options_.metrics);
+    metrics::Registry& reg = *options_.metrics;
+    const metrics::Labels dc_label = {{"dc", std::to_string(options_.dc)}};
+    telemetry_ = std::make_unique<Telemetry>();
+    telemetry_->buffered_payloads = reg.AddGauge(
+        "eunomia_georep_buffered_payloads",
+        "Remote payloads parked in the receiver awaiting their metadata "
+        "go-ahead (Algorithm 5 queue depth)",
+        dc_label);
+    telemetry_->pending_applies = reg.AddGauge(
+        "eunomia_georep_pending_applies",
+        "Remote updates whose metadata cleared stabilization but whose "
+        "apply has not yet run",
+        dc_label);
+    telemetry_->updates_installed = reg.AddCounter(
+        "eunomia_georep_updates_installed_total",
+        "Updates installed locally (origin-side client writes)", dc_label);
+    telemetry_->payload_duplicates = reg.AddCounter(
+        "eunomia_georep_payload_duplicates_total",
+        "Inbound payloads dropped by uid/timestamp dedup (reconnect replays "
+        "and recovery re-fan-outs land here)",
+        dc_label);
+    telemetry_->reconnects = reg.AddCounter(
+        "eunomia_georep_reconnects_total",
+        "Peer links re-established after a mid-run drop", dc_label);
+    telemetry_->replayed_frames = reg.AddCounter(
+        "eunomia_georep_replayed_frames_total",
+        "Retained frames re-shipped to a reconnected peer", dc_label);
+    telemetry_->wire_errors = reg.AddCounter(
+        "eunomia_georep_wire_errors_total",
+        "Inbound frames rejected as protocol violations", dc_label);
+    telemetry_->send_failures = reg.AddCounter(
+        "eunomia_georep_send_failures_total",
+        "Outbound sends that failed (peer missing or connection down)",
+        dc_label);
+  }
   if (options_.durability_disk != nullptr) {
     GeoDurabilityOptions dopts;
     dopts.disk = options_.durability_disk;
@@ -195,6 +234,7 @@ void GeoNode::TryReconnect(DatacenterId peer) {
     // peer kept beyond its acks arrives as duplicates and its
     // uid/timestamp dedup absorbs them.
     const Timestamp applied = peer_applied_[peer];
+    std::uint64_t replayed = 0;
     for (const Peer::Sent& sent : entry.history) {
       if (sent.ts != 0 && sent.ts <= applied) {
         continue;
@@ -202,6 +242,10 @@ void GeoNode::TryReconnect(DatacenterId peer) {
       SendOnLink(sent.type == nw::MsgType::kGeoPayload ? entry.payloads
                                                        : entry.metadata,
                  sent.type, sent.frame);
+      ++replayed;
+    }
+    if (telemetry_ != nullptr && replayed > 0) {
+      telemetry_->replayed_frames->Add(replayed);
     }
   }
 }
@@ -247,6 +291,9 @@ void GeoNode::Start() {
         AckTick();
       }
       SnapshotTick();
+    }
+    if (telemetry_ != nullptr) {
+      MetricsTick();
     }
   });
 }
@@ -294,6 +341,37 @@ void GeoNode::SnapshotTick() {
   }
   loop_.ScheduleAfter(options_.snapshot_check_interval_us,
                       [this] { SnapshotTick(); });
+}
+
+void GeoNode::MetricsTick() {
+  if (stopped_.load()) {
+    return;
+  }
+  Telemetry& t = *telemetry_;
+  t.buffered_payloads->Set(
+      static_cast<std::int64_t>(runtime_->BufferedPayloads()));
+  t.pending_applies->Set(
+      static_cast<std::int64_t>(runtime_->PendingApplyCount()));
+  // Cumulative runtime/node counters mirror as deltas so the registry
+  // series stay monotone across this node's lifetime.
+  const auto mirror = [](metrics::Counter& counter, std::uint64_t now,
+                         std::uint64_t* mark) {
+    if (now > *mark) {
+      counter.Add(now - *mark);
+      *mark = now;
+    }
+  };
+  mirror(*t.updates_installed, runtime_->updates_installed(),
+         &t.mirrored_installed);
+  mirror(*t.payload_duplicates, runtime_->payload_duplicates(),
+         &t.mirrored_duplicates);
+  mirror(*t.reconnects, reconnects_.load(std::memory_order_relaxed),
+         &t.mirrored_reconnects);
+  mirror(*t.wire_errors, wire_errors_.load(std::memory_order_relaxed),
+         &t.mirrored_wire_errors);
+  mirror(*t.send_failures, send_failures_.load(std::memory_order_relaxed),
+         &t.mirrored_send_failures);
+  loop_.ScheduleAfter(options_.metrics_interval_us, [this] { MetricsTick(); });
 }
 
 Timestamp GeoNode::InstallTruncateMark() const {

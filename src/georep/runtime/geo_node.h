@@ -38,6 +38,8 @@
 #include "src/georep/runtime/event_loop.h"
 #include "src/georep/runtime/durability.h"
 #include "src/georep/visibility.h"
+#include "src/metrics/counter.h"
+#include "src/metrics/gauge.h"
 #include "src/net/transport.h"
 #include "src/wal/disk.h"
 #include "src/wal/log_writer.h"
@@ -90,6 +92,12 @@ class GeoNode final : private Environment {
     // period (the acks drive peers' history truncation and this node's
     // install-log truncation).
     std::uint64_t ack_interval_us = 100'000;
+    // Observability. When set, the node registers its per-dc series there
+    // (visibility latency histograms, receiver queue-depth gauges, replay/
+    // reconnect counters) and a loop timer mirrors runtime state into them
+    // every metrics_interval_us. Null: off, zero overhead.
+    metrics::Registry* metrics = nullptr;
+    std::uint64_t metrics_interval_us = 250'000;
   };
 
   // The transport becomes dedicated to this node; Stop() shuts it down.
@@ -228,14 +236,38 @@ class GeoNode final : private Environment {
   // Periodic durable-node duties (self-rescheduling loop timers).
   void AckTick();
   void SnapshotTick();
+  // Self-rescheduling loop timer (Options::metrics only): samples the
+  // receiver queue gauges and delta-mirrors the runtime's cumulative
+  // counters into the registry. Runs on the loop thread, so it reads
+  // runtime state with the same serialization RunBlocking provides.
+  void MetricsTick();
   // Frontier up to which this node's install WAL may be truncated: its own
   // stable frontier, floored by what every peer has durably acked (0 until
   // all peers ack — a peer that never acks pins the log, by design).
   Timestamp InstallTruncateMark() const;
 
+  // Per-dc registry series plus the mirror marks MetricsTick deltas
+  // against. Built in the constructor when Options::metrics is set.
+  struct Telemetry {
+    std::shared_ptr<metrics::Gauge> buffered_payloads;
+    std::shared_ptr<metrics::Gauge> pending_applies;
+    std::shared_ptr<metrics::Counter> updates_installed;
+    std::shared_ptr<metrics::Counter> payload_duplicates;
+    std::shared_ptr<metrics::Counter> reconnects;
+    std::shared_ptr<metrics::Counter> replayed_frames;
+    std::shared_ptr<metrics::Counter> wire_errors;
+    std::shared_ptr<metrics::Counter> send_failures;
+    std::uint64_t mirrored_installed = 0;
+    std::uint64_t mirrored_duplicates = 0;
+    std::uint64_t mirrored_reconnects = 0;
+    std::uint64_t mirrored_wire_errors = 0;
+    std::uint64_t mirrored_send_failures = 0;
+  };
+
   net::Transport* const transport_;
   const Options options_;
   EventLoop loop_;
+  std::unique_ptr<Telemetry> telemetry_;
   VisibilityTracker tracker_;
   UidAllocator uids_;
   SessionMap sessions_;

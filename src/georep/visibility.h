@@ -22,6 +22,8 @@
 
 #include "src/common/stats.h"
 #include "src/common/types.h"
+#include "src/metrics/histogram.h"
+#include "src/metrics/registry.h"
 
 namespace eunomia::geo {
 
@@ -115,6 +117,11 @@ class VisibilityTracker {
     const std::uint64_t artificial = t_us >= arrival ? t_us - arrival : 0;
     auto& cdf = visibility_[{origin, dc}];
     cdf.Add(static_cast<double>(artificial));
+    auto& hist = visibility_hist_[{origin, dc}];
+    if (hist == nullptr) {
+      hist = MakeVisibilityHistogram(origin, dc);
+    }
+    hist->Record(artificial);
     auto& timeline = visibility_timeline_[{origin, dc}];
     if (!timeline) {
       timeline = std::make_unique<TimeSeries>(window_us_);
@@ -180,6 +187,23 @@ class VisibilityTracker {
     return it == visibility_.end() ? nullptr : &it->second;
   }
 
+  // The same stream as Visibility() in log-linear histogram form — what the
+  // scrape endpoint exports and fig6 reads its CDF from. nullptr before the
+  // first sample for the pair.
+  const metrics::Histogram* VisibilityHistogram(DatacenterId origin,
+                                                DatacenterId dest) const {
+    const auto it = visibility_hist_.find({origin, dest});
+    return it == visibility_hist_.end() ? nullptr : it->second.get();
+  }
+
+  // Registers every (origin, dest) visibility histogram — existing and
+  // future — into `registry` as eunomia_georep_visibility_latency_
+  // microseconds{origin=...,dest=...}. Call before traffic starts; series
+  // registration is lazy on the first sample per pair, which runs on the
+  // caller's event loop with no annotated lock held (registry rank 950
+  // admits it from anywhere below leaf rank).
+  void AttachMetrics(metrics::Registry* registry) { registry_ = registry; }
+
   // Mean artificial delay per time window (Fig. 7 timelines).
   const TimeSeries* VisibilityTimeline(DatacenterId origin, DatacenterId dest) const {
     const auto it = visibility_timeline_.find({origin, dest});
@@ -204,6 +228,22 @@ class VisibilityTracker {
     std::uint32_t remaining_destinations = 0;
   };
 
+  std::shared_ptr<metrics::Histogram> MakeVisibilityHistogram(
+      DatacenterId origin, DatacenterId dest) {
+    static constexpr char kName[] =
+        "eunomia_georep_visibility_latency_microseconds";
+    static constexpr char kHelp[] =
+        "Artificial remote-visibility delay (network latency factored out): "
+        "update arrival at the destination to the instant stabilization "
+        "allows it to become visible, in microseconds";
+    const metrics::Labels labels = {{"origin", std::to_string(origin)},
+                                    {"dest", std::to_string(dest)}};
+    if (registry_ != nullptr) {
+      return registry_->AddHistogram(kName, kHelp, labels);
+    }
+    return std::make_shared<metrics::Histogram>(kName, kHelp, labels);
+  }
+
   static std::uint64_t PackKey(std::uint64_t uid, DatacenterId dc) {
     // uids are dense, so shifting them 8 bits keeps the key collision-free
     // for any dc < 256. (uid * 64 + dc aliased dc >= 64 onto later uids.)
@@ -219,7 +259,11 @@ class VisibilityTracker {
   std::unordered_map<std::uint64_t, std::uint64_t> visible_times_;
   std::unordered_map<std::uint64_t, InstalledRecord> installed_;
   std::unordered_map<std::uint64_t, std::uint64_t> arrivals_;
+  metrics::Registry* registry_ = nullptr;
   std::map<std::pair<DatacenterId, DatacenterId>, Cdf> visibility_;
+  std::map<std::pair<DatacenterId, DatacenterId>,
+           std::shared_ptr<metrics::Histogram>>
+      visibility_hist_;
   std::map<std::pair<DatacenterId, DatacenterId>, std::unique_ptr<TimeSeries>>
       visibility_timeline_;
   std::uint64_t reads_completed_ = 0;

@@ -1,0 +1,41 @@
+// Counter: a monotonically increasing value (events since process start).
+// Increment is one relaxed fetch_add — wait-free, safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/metrics/metric.h"
+
+namespace eunomia::metrics {
+
+class Counter final : public Metric {
+ public:
+  Counter(std::string name, std::string help, Labels labels = {})
+      : Metric(std::move(name), std::move(help), std::move(labels)) {}
+
+  void Increment() { Add(1); }
+  void Add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  MetricType type() const override { return MetricType::kCounter; }
+
+  void AppendSeries(std::string* out) const override {
+    out->append(name());
+    out->append(LabelString());
+    out->push_back(' ');
+    out->append(std::to_string(value()));
+    out->push_back('\n');
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+}  // namespace eunomia::metrics

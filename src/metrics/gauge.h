@@ -1,0 +1,48 @@
+// Gauge: a value that goes up and down (queue depth, lag, occupancy).
+// Set/Add are single relaxed atomic operations — wait-free. The value is a
+// signed 64-bit integer; everything this tree gauges (depths, byte counts,
+// microsecond lags) is integral, and integer exposition keeps the format
+// pin in tests exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/metrics/metric.h"
+
+namespace eunomia::metrics {
+
+class Gauge final : public Metric {
+ public:
+  Gauge(std::string name, std::string help, Labels labels = {})
+      : Metric(std::move(name), std::move(help), std::move(labels)) {}
+
+  void Set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  void Decrement() { Add(-1); }
+
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  MetricType type() const override { return MetricType::kGauge; }
+
+  void AppendSeries(std::string* out) const override {
+    out->append(name());
+    out->append(LabelString());
+    out->push_back(' ');
+    out->append(std::to_string(value()));
+    out->push_back('\n');
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+}  // namespace eunomia::metrics

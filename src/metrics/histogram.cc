@@ -1,0 +1,145 @@
+#include "src/metrics/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace eunomia::metrics {
+
+Histogram::Histogram(std::string name, std::string help, Labels labels)
+    : Metric(std::move(name), std::move(help), std::move(labels)),
+      stripes_(new Stripe[kStripes]) {}
+
+std::size_t Histogram::StripeIndex() {
+  // Threads are assigned stripes round-robin on first Record from that
+  // thread (across all histograms — one thread, one stripe). Round-robin
+  // spreads the common fixed thread pools (shard loops, transport
+  // read/write pairs) more evenly than hashing opaque thread ids.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return index;
+}
+
+void Histogram::Record(std::uint64_t value) {
+  Stripe& stripe = stripes_[StripeIndex()];
+  stripe.buckets[static_cast<std::size_t>(BucketFor(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  stripe.sum.fetch_add(value, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+int Histogram::BucketFor(std::uint64_t value) {
+  constexpr std::uint64_t kLinearMax = 1ULL << kSubBucketBits;  // 32
+  if (value < kLinearMax) return static_cast<int>(value);
+  const int octave = 63 - std::countl_zero(value);
+  const int shift = octave - kSubBucketBits;
+  const int sub = static_cast<int>((value >> shift) & (kLinearMax - 1));
+  const int bucket = ((octave - kSubBucketBits + 1) << kSubBucketBits) + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+std::uint64_t Histogram::BucketUpperBound(int bucket) {
+  constexpr int kLinearMax = 1 << kSubBucketBits;  // 32
+  if (bucket < kLinearMax) return static_cast<std::uint64_t>(bucket);
+  const int octave_index = (bucket >> kSubBucketBits) - 1;
+  const int sub = bucket & (kLinearMax - 1);
+  if (octave_index + kSubBucketBits >= 64) {
+    // Buckets past the one holding UINT64_MAX are unreachable from
+    // BucketFor; saturate instead of shifting past the word.
+    return ~0ULL;
+  }
+  const std::uint64_t base = 1ULL << (octave_index + kSubBucketBits);
+  return base +
+         ((static_cast<std::uint64_t>(sub) + 1) << octave_index) - 1;
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.buckets.assign(kNumBuckets, 0);
+  for (std::size_t s = 0; s < kStripes; ++s) {
+    const Stripe& stripe = stripes_[s];
+    snap.count += stripe.count.load(std::memory_order_relaxed);
+    snap.sum += stripe.sum.load(std::memory_order_relaxed);
+    for (int b = 0; b < kNumBuckets; ++b) {
+      snap.buckets[static_cast<std::size_t>(b)] +=
+          stripe.buckets[static_cast<std::size_t>(b)].load(
+              std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < kStripes; ++s) {
+    total += stripes_[s].count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Snapshot::Mean() const {
+  if (count == 0) return 0.0;
+  return static_cast<double>(sum) / static_cast<double>(count);
+}
+
+std::uint64_t Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation, 1-based.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets[static_cast<std::size_t>(b)];
+    if (seen >= rank) return BucketUpperBound(b);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+std::uint64_t Histogram::Snapshot::Max() const {
+  for (int b = kNumBuckets - 1; b >= 0; --b) {
+    if (buckets[static_cast<std::size_t>(b)] != 0) return BucketUpperBound(b);
+  }
+  return 0;
+}
+
+void Histogram::AppendSeries(std::string* out) const {
+  const Snapshot snap = Snap();
+  // Only non-empty buckets are emitted (cumulatively) — a 2048-bucket
+  // histogram would otherwise dominate every scrape. Prometheus treats a
+  // missing le as "same cumulative count as the previous one", so this is
+  // lossless. +Inf is always present, as the format requires.
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const std::uint64_t in_bucket = snap.buckets[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    cumulative += in_bucket;
+    out->append(name());
+    out->append("_bucket");
+    out->append(LabelString("le", std::to_string(BucketUpperBound(b))));
+    out->push_back(' ');
+    out->append(std::to_string(cumulative));
+    out->push_back('\n');
+  }
+  out->append(name());
+  out->append("_bucket");
+  out->append(LabelString("le", "+Inf"));
+  out->push_back(' ');
+  out->append(std::to_string(snap.count));
+  out->push_back('\n');
+  out->append(name());
+  out->append("_sum");
+  out->append(LabelString());
+  out->push_back(' ');
+  out->append(std::to_string(snap.sum));
+  out->push_back('\n');
+  out->append(name());
+  out->append("_count");
+  out->append(LabelString());
+  out->push_back(' ');
+  out->append(std::to_string(snap.count));
+  out->push_back('\n');
+}
+
+}  // namespace eunomia::metrics

@@ -1,0 +1,78 @@
+#include "src/metrics/metric.h"
+
+namespace eunomia::metrics {
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+namespace internal {
+
+void AppendEscapedLabelValue(std::string* out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void AppendEscapedHelp(std::string* out, std::string_view help) {
+  for (char c : help) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+}  // namespace internal
+
+std::string Metric::LabelString(std::string_view extra_key,
+                                std::string_view extra_value) const {
+  if (labels_.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(key);
+    out.append("=\"");
+    internal::AppendEscapedLabelValue(&out, value);
+    out.push_back('"');
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out.append(extra_key);
+    out.append("=\"");
+    internal::AppendEscapedLabelValue(&out, extra_value);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace eunomia::metrics

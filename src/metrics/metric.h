@@ -1,0 +1,76 @@
+// Base type for the metrics subsystem (docs/METRICS.md): a named series
+// with help text and static labels, renderable in the Prometheus text
+// exposition format.
+//
+// Design rules the whole subsystem follows:
+//   - Writes are wait-free. Every concrete metric keeps its state in
+//     per-object relaxed atomics (histograms additionally stripe them per
+//     thread group); no metric ever takes a lock on a hot path.
+//   - Reads are merges. Scrapes load the atomics and aggregate; a scrape
+//     observes each individual update atomically but the set of updates is
+//     only loosely consistent across series — exactly the Prometheus
+//     contract.
+//   - Registration is cold. The registry serializes it under an annotated
+//     sync::Mutex (kRankMetricsRegistry); after registration the registry
+//     is never consulted again on the write path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace eunomia::metrics {
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+// Returns "counter" / "gauge" / "histogram" (the TYPE line spelling).
+const char* MetricTypeName(MetricType type);
+
+// Static labels attached at construction; {key, value} pairs. Order is
+// preserved into the exposition, so tests can pin exact output.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Metric {
+ public:
+  Metric(std::string name, std::string help, Labels labels)
+      : name_(std::move(name)), help_(std::move(help)),
+        labels_(std::move(labels)) {}
+  virtual ~Metric() = default;
+
+  Metric(const Metric&) = delete;
+  Metric& operator=(const Metric&) = delete;
+
+  virtual MetricType type() const = 0;
+
+  // Appends this instance's sample line(s) — no HELP/TYPE header, the
+  // registry emits that once per family. Must be callable concurrently
+  // with writers (it only loads atomics).
+  virtual void AppendSeries(std::string* out) const = 0;
+
+  const std::string& name() const { return name_; }
+  const std::string& help() const { return help_; }
+  const Labels& labels() const { return labels_; }
+
+ protected:
+  // Renders the label set as `{k="v",...}` (empty string when there are no
+  // labels), optionally merged with one extra trailing label (histograms'
+  // `le`). Values are escaped per the exposition format.
+  std::string LabelString(std::string_view extra_key = {},
+                          std::string_view extra_value = {}) const;
+
+ private:
+  const std::string name_;
+  const std::string help_;
+  const Labels labels_;
+};
+
+namespace internal {
+// Exposition-format escaping for label values (\\, \", \n) and help text
+// (\\, \n).
+void AppendEscapedLabelValue(std::string* out, std::string_view value);
+void AppendEscapedHelp(std::string* out, std::string_view help);
+}  // namespace internal
+
+}  // namespace eunomia::metrics

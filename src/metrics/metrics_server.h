@@ -1,0 +1,66 @@
+// MetricsServer: a deliberately tiny HTTP/1.0 endpoint for scrapes.
+//
+// One accept thread, one request per connection, two routes:
+//   GET /metrics  -> the registry's text exposition
+//   GET /healthz  -> "ok\n" (liveness for process supervisors)
+// Anything else is a 404; anything that isn't a GET is a 405.
+//
+// It speaks raw POSIX sockets rather than net::Transport on purpose: the
+// metrics library sits BELOW net in the layer DAG (net instruments itself
+// via metrics), and an observability endpoint must keep working when the
+// data-plane transport is the thing being debugged.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace eunomia::metrics {
+
+class Registry;
+
+class MetricsServer {
+ public:
+  // Scrapes `registry` (defaults to Registry::Default()).
+  explicit MetricsServer(Registry* registry = nullptr);
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  // Binds + listens on `address` ("host:port"; bare "port" means
+  // 127.0.0.1; port 0 picks an ephemeral port) and starts the accept
+  // thread. Returns the bound "host:port" on success, "" on failure.
+  std::string Start(const std::string& address);
+
+  // Stops the accept thread and closes the socket. Idempotent; called by
+  // the destructor.
+  void Stop();
+
+  // The bound "host:port" ("" before a successful Start).
+  const std::string& address() const { return address_; }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  Registry* const registry_;
+  int listen_fd_ = -1;
+  std::string address_;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+};
+
+// Minimal HTTP/1.0 GET client for self-scrapes (daemon smokes, CI bench
+// artifacts, tests). On a 200 response fills *body and returns true.
+bool HttpGet(const std::string& address, const std::string& path,
+             std::string* body);
+
+// Sum of every sample of metric family `name` in a text exposition (for a
+// histogram, pass the full sample name, e.g. "..._count"). `found` (when
+// non-null) reports whether at least one sample line matched — a counter
+// legitimately at 0 is distinguishable from a missing series.
+double SeriesSum(const std::string& exposition, const std::string& name,
+                 bool* found = nullptr);
+
+}  // namespace eunomia::metrics

@@ -1,0 +1,135 @@
+#include "src/metrics/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace eunomia::metrics {
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+std::shared_ptr<Metric> Registry::FindLocked(const std::string& name,
+                                             const Labels& labels) const {
+  for (const std::shared_ptr<Metric>& metric : metrics_) {
+    if (metric->name() == name && metric->labels() == labels) return metric;
+  }
+  return nullptr;
+}
+
+namespace {
+
+[[noreturn]] void DieOnTypeMismatch(const std::string& name,
+                                    MetricType want, MetricType have) {
+  std::fprintf(stderr,
+               "metrics: \"%s\" registered as %s but requested as %s\n",
+               name.c_str(), MetricTypeName(have), MetricTypeName(want));
+  std::abort();
+}
+
+template <typename T>
+std::shared_ptr<T> CastOrDie(std::shared_ptr<Metric> metric, MetricType want,
+                             const std::string& name) {
+  if (metric->type() != want) {
+    DieOnTypeMismatch(name, want, metric->type());
+  }
+  return std::static_pointer_cast<T>(std::move(metric));
+}
+
+}  // namespace
+
+std::shared_ptr<Counter> Registry::AddCounter(const std::string& name,
+                                              const std::string& help,
+                                              Labels labels) {
+  sync::MutexLock lock(mu_);
+  if (std::shared_ptr<Metric> existing = FindLocked(name, labels)) {
+    return CastOrDie<Counter>(std::move(existing), MetricType::kCounter, name);
+  }
+  auto counter = std::make_shared<Counter>(name, help, std::move(labels));
+  metrics_.push_back(counter);
+  return counter;
+}
+
+std::shared_ptr<Gauge> Registry::AddGauge(const std::string& name,
+                                          const std::string& help,
+                                          Labels labels) {
+  sync::MutexLock lock(mu_);
+  if (std::shared_ptr<Metric> existing = FindLocked(name, labels)) {
+    return CastOrDie<Gauge>(std::move(existing), MetricType::kGauge, name);
+  }
+  auto gauge = std::make_shared<Gauge>(name, help, std::move(labels));
+  metrics_.push_back(gauge);
+  return gauge;
+}
+
+std::shared_ptr<Histogram> Registry::AddHistogram(const std::string& name,
+                                                  const std::string& help,
+                                                  Labels labels) {
+  sync::MutexLock lock(mu_);
+  if (std::shared_ptr<Metric> existing = FindLocked(name, labels)) {
+    return CastOrDie<Histogram>(std::move(existing), MetricType::kHistogram,
+                                name);
+  }
+  auto histogram = std::make_shared<Histogram>(name, help, std::move(labels));
+  metrics_.push_back(histogram);
+  return histogram;
+}
+
+void Registry::Register(std::shared_ptr<Metric> metric) {
+  sync::MutexLock lock(mu_);
+  if (FindLocked(metric->name(), metric->labels()) != nullptr) {
+    std::fprintf(stderr, "metrics: duplicate registration of \"%s\"\n",
+                 metric->name().c_str());
+    std::abort();
+  }
+  metrics_.push_back(std::move(metric));
+}
+
+std::shared_ptr<Metric> Registry::Find(const std::string& name,
+                                       const Labels& labels) const {
+  sync::MutexLock lock(mu_);
+  return FindLocked(name, labels);
+}
+
+std::size_t Registry::size() const {
+  sync::MutexLock lock(mu_);
+  return metrics_.size();
+}
+
+std::string Registry::TextExposition() const {
+  std::vector<std::shared_ptr<Metric>> snapshot;
+  {
+    sync::MutexLock lock(mu_);
+    snapshot = metrics_;
+  }
+  // Group families: sort by name, stably, so instances registered in order
+  // (e.g. per-partition gauges) stay in order within their family.
+  std::stable_sort(snapshot.begin(), snapshot.end(),
+                   [](const std::shared_ptr<Metric>& a,
+                      const std::shared_ptr<Metric>& b) {
+                     return a->name() < b->name();
+                   });
+  std::string out;
+  const std::string* current_family = nullptr;
+  for (const std::shared_ptr<Metric>& metric : snapshot) {
+    if (current_family == nullptr || *current_family != metric->name()) {
+      current_family = &metric->name();
+      out.append("# HELP ");
+      out.append(metric->name());
+      out.push_back(' ');
+      internal::AppendEscapedHelp(&out, metric->help());
+      out.push_back('\n');
+      out.append("# TYPE ");
+      out.append(metric->name());
+      out.push_back(' ');
+      out.append(MetricTypeName(metric->type()));
+      out.push_back('\n');
+    }
+    metric->AppendSeries(&out);
+  }
+  return out;
+}
+
+}  // namespace eunomia::metrics

@@ -1,0 +1,78 @@
+// MetricRegistry: the process-wide catalogue of metrics and the Prometheus
+// text formatter.
+//
+// The registry is only involved at registration and scrape time — writes
+// go straight to the metric objects (see metric.h for the wait-free
+// contract). Registration takes an annotated sync::Mutex at
+// kRankMetricsRegistry (950): metrics are created lazily from hot-ish
+// paths that may already hold kRankConnSend (800, first frame on a
+// connection) or kRankWalWriter (930, first fsync), so the registry rank
+// sits above both; the scrape path takes only this mutex and then reads
+// atomics, so it can never participate in a cycle with the data plane.
+//
+// Add* are get-or-create: asking for an existing (name, labels) pair
+// returns the existing instance (type mismatch aborts — that is a
+// programming error, like a rank violation). This makes registration
+// idempotent, which benches that construct a service per rep rely on.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/sync.h"
+#include "src/metrics/counter.h"
+#include "src/metrics/gauge.h"
+#include "src/metrics/histogram.h"
+#include "src/metrics/metric.h"
+
+namespace eunomia::metrics {
+
+class Registry {
+ public:
+  Registry() = default;
+
+  // The process-wide registry the MetricsServer scrapes by default and the
+  // always-on net/wal instrumentation registers into. Leaked, never
+  // destroyed (metrics may be recorded from detached threads at exit).
+  static Registry& Default();
+
+  std::shared_ptr<Counter> AddCounter(const std::string& name,
+                                      const std::string& help,
+                                      Labels labels = {}) EXCLUDES(mu_);
+  std::shared_ptr<Gauge> AddGauge(const std::string& name,
+                                  const std::string& help,
+                                  Labels labels = {}) EXCLUDES(mu_);
+  std::shared_ptr<Histogram> AddHistogram(const std::string& name,
+                                          const std::string& help,
+                                          Labels labels = {}) EXCLUDES(mu_);
+
+  // Registers an externally constructed metric. Aborts on a (name, labels)
+  // collision — external registration has no get-or-create fallback.
+  void Register(std::shared_ptr<Metric> metric) EXCLUDES(mu_);
+
+  // Looks up an already-registered metric; nullptr if absent. Mostly for
+  // tests and smoke assertions.
+  std::shared_ptr<Metric> Find(const std::string& name,
+                               const Labels& labels = {}) const EXCLUDES(mu_);
+
+  // Renders every registered metric in the Prometheus text exposition
+  // format (version 0.0.4): one HELP/TYPE header per family, then each
+  // instance's series. Families appear sorted by name; instances within a
+  // family keep registration order. Formatting happens outside the
+  // registry lock, off a snapshot of the metric list.
+  std::string TextExposition() const EXCLUDES(mu_);
+
+  std::size_t size() const EXCLUDES(mu_);
+
+ private:
+  std::shared_ptr<Metric> FindLocked(const std::string& name,
+                                     const Labels& labels) const
+      REQUIRES(mu_);
+
+  mutable sync::Mutex mu_{"metrics::Registry::mu_",
+                          sync::kRankMetricsRegistry};
+  std::vector<std::shared_ptr<Metric>> metrics_ GUARDED_BY(mu_);
+};
+
+}  // namespace eunomia::metrics

@@ -26,9 +26,19 @@ std::uint64_t NowMicros() {
 // while the transport is still delivering the connection's last frames or
 // its on_close.
 struct EunomiaClient::Session {
-  explicit Session(Options opts) : options(std::move(opts)) {}
+  explicit Session(Options opts)
+      : options(std::move(opts)),
+        ack_latency_us(options.ack_latency_us != nullptr
+                           ? options.ack_latency_us
+                           : std::make_shared<metrics::Histogram>(
+                                 "eunomia_client_ack_latency_microseconds",
+                                 "Batch ack round-trip latency seen by this "
+                                 "client, in microseconds")) {}
 
   const Options options;
+  // Wait-free to record into; shared with the driver when Options supplied
+  // one. Never null.
+  const std::shared_ptr<metrics::Histogram> ack_latency_us;
 
   std::shared_ptr<Connection> connection;  // set by Connect (wrapper thread)
 
@@ -43,7 +53,6 @@ struct EunomiaClient::Session {
   // ack round-trip latency.
   std::deque<std::pair<std::uint64_t, std::uint64_t>> inflight_batches
       GUARDED_BY(mu);
-  OnlineStats ack_latency_us GUARDED_BY(mu);
   // Next expected stable stream sequence; unset until the first
   // SubscribeAck or StableBatch (whichever the races deliver first).
   bool stream_seq_known GUARDED_BY(mu) = false;
@@ -99,8 +108,7 @@ void EunomiaClient::Session::OnFrame(wire::Frame&& frame) {
         ops_acked = std::max(ops_acked, ack.ops_received);
         while (!inflight_batches.empty() &&
                inflight_batches.front().first <= ops_acked) {
-          ack_latency_us.Add(
-              static_cast<double>(now - inflight_batches.front().second));
+          ack_latency_us->Record(now - inflight_batches.front().second);
           inflight_batches.pop_front();
         }
       }
@@ -343,8 +351,8 @@ std::uint32_t EunomiaClient::server_partitions() const {
   return session_->server_partitions;
 }
 
-OnlineStats EunomiaClient::ack_latency_us() const {
-  sync::MutexLock lock(session_->mu);
+const std::shared_ptr<metrics::Histogram>&
+EunomiaClient::ack_latency_histogram() const {
   return session_->ack_latency_us;
 }
 

@@ -16,9 +16,10 @@
 //     the client verifies the stream sequence is dense, so any dropped or
 //     reordered stable batch surfaces as stream_broken() instead of a
 //     silently wrong order;
-//   - per-connection statistics: an OnlineStats of batch acknowledgement
-//     round-trip latency, mergeable across connections (OnlineStats::Merge)
-//     by multi-connection drivers.
+//   - per-connection statistics: a metrics::Histogram of batch
+//     acknowledgement round-trip latency; multi-connection drivers pass
+//     one shared histogram through Options so all connections aggregate
+//     into a single series with no merge step.
 //
 // Threading: SubmitBatch/Heartbeat must come from one producer thread at a
 // time (the partition contract already implies a single submitter);
@@ -34,8 +35,8 @@
 #include <string>
 #include <vector>
 
-#include "src/common/stats.h"
 #include "src/eunomia/service.h"
+#include "src/metrics/histogram.h"
 #include "src/net/transport.h"
 
 namespace eunomia::net {
@@ -55,6 +56,12 @@ class EunomiaClient {
     StableSink on_stable;
     // Handshake / ack wait bound.
     std::uint64_t timeout_ms = 10'000;
+    // Destination for batch ack round-trip latencies (microseconds).
+    // Multi-connection drivers pass one histogram to every client so the
+    // connections aggregate into a single series (recording is wait-free,
+    // so sharing costs nothing). Null: the client creates a private,
+    // unregistered histogram.
+    std::shared_ptr<metrics::Histogram> ack_latency_us;
   };
 
   EunomiaClient(Transport* transport, std::string address, Options options);
@@ -89,8 +96,9 @@ class EunomiaClient {
   std::uint64_t stable_ops_received() const;
   std::uint32_t server_partitions() const;
 
-  // Snapshot of the per-batch ack round-trip latency (microseconds).
-  OnlineStats ack_latency_us() const;
+  // The ack round-trip latency histogram this client records into (the
+  // one from Options, or the private one). Snap() it for statistics.
+  const std::shared_ptr<metrics::Histogram>& ack_latency_histogram() const;
 
  private:
   // All state the transport callbacks touch; kept alive by the handler

@@ -1,11 +1,31 @@
 #include "src/net/eunomia_server.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "src/metrics/registry.h"
 
 namespace eunomia::net {
 
+namespace {
+
+std::uint64_t NowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 EunomiaServer::EunomiaServer(Transport* transport, Options options)
     : transport_(transport), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    ack_latency_us_ = options_.metrics->AddHistogram(
+        "eunomia_server_ack_latency_microseconds",
+        "Server-side submit service time: SubmitBatch frame decoded to "
+        "SubmitAck handed to the transport, in microseconds");
+  }
   if (options_.fault_tolerant) {
     FtEunomiaService::Options service_options;
     service_options.num_partitions = options_.num_partitions;
@@ -24,6 +44,7 @@ EunomiaServer::EunomiaServer(Transport* transport, Options options)
     service_options.buffer_backend = options_.buffer_backend;
     service_options.sink = options_.sink;
     service_options.durability = options_.durability;
+    service_options.metrics = options_.metrics;
     service_ = std::make_unique<EunomiaService>(std::move(service_options));
     service_->AddStableListener(
         [this](const std::vector<OpRecord>& ops) { OnStable(ops); });
@@ -154,6 +175,8 @@ void EunomiaServer::OnFrame(Connection& connection, wire::Frame&& frame) {
       return;
     }
     case wire::MsgType::kSubmitBatch: {
+      const std::uint64_t received_at =
+          ack_latency_us_ != nullptr ? NowMicros() : 0;
       wire::SubmitBatchMsg msg;
       if (!wire::DecodeSubmitBatch(frame.payload, &msg) ||
           msg.partition >= options_.num_partitions) {
@@ -184,6 +207,9 @@ void EunomiaServer::OnFrame(Connection& connection, wire::Frame&& frame) {
       ack.ops_received = cumulative;
       connection.SendFrame(wire::MsgType::kSubmitAck,
                            wire::EncodeSubmitAck(ack));
+      if (ack_latency_us_ != nullptr) {
+        ack_latency_us_->Record(NowMicros() - received_at);
+      }
       return;
     }
     case wire::MsgType::kHeartbeat: {

@@ -43,6 +43,7 @@
 
 #include "src/common/sync.h"
 #include "src/eunomia/service.h"
+#include "src/metrics/histogram.h"
 #include "src/net/transport.h"
 #include "src/ordbuf/ordered_buffer.h"
 
@@ -70,6 +71,10 @@ class EunomiaServer {
     // is replication). With durability.disk set, the hosted service recovers
     // from it at construction and logs every accepted batch before acking.
     ServiceDurability durability;
+    // Observability: forwarded to the hosted service (per-shard/partition
+    // series) and used by the server itself for the server-side ack latency
+    // histogram (submit-frame decode to ack send). Null: off.
+    metrics::Registry* metrics = nullptr;
   };
 
   EunomiaServer(Transport* transport, Options options);
@@ -119,6 +124,8 @@ class EunomiaServer {
   const Options options_;
   std::unique_ptr<EunomiaService> service_;
   std::unique_ptr<FtEunomiaService> ft_service_;
+  // Submit-to-ack service time; null when Options::metrics is unset.
+  std::shared_ptr<metrics::Histogram> ack_latency_us_;
 
   // Guards peers_ and stream_seq_. Emission snapshots subscribers under the
   // lock and sends outside it, so a slow subscriber blocks only the merge

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "src/common/sync.h"
+#include "src/net/net_metrics.h"
 
 namespace eunomia::net {
 
@@ -99,6 +100,10 @@ class TcpTransport::Conn : public Connection,
  protected:
   bool SendBytes(std::string bytes) override {
     sync::MutexLock lock(out_mu_);
+    if (outbox_bytes_ >= kOutboxCapacityBytes && !closing_) {
+      // One stall episode, however many waits it takes to drain.
+      NetMetrics::Get().outbox_stalls->Increment();
+    }
     while (outbox_bytes_ >= kOutboxCapacityBytes && !closing_) {
       space_cv_.Wait(out_mu_);
     }
@@ -317,6 +322,7 @@ void TcpTransport::AcceptLoop() {
       }
       connections_.push_back(connection);
     }
+    NetMetrics::Get().tcp_accepts->Increment();
     connection->Start();
   }
 }
@@ -371,6 +377,7 @@ std::shared_ptr<Connection> TcpTransport::Dial(const std::string& address,
     }
     connections_.push_back(connection);
   }
+  NetMetrics::Get().tcp_dials->Increment();
   connection->Start();
   return connection;
 }

@@ -1,5 +1,7 @@
 #include "src/net/transport.h"
 
+#include "src/net/net_metrics.h"
+
 namespace eunomia::net {
 
 namespace {
@@ -11,7 +13,13 @@ std::uint64_t NextConnectionId() {
 
 }  // namespace
 
-Connection::Connection() : id_(NextConnectionId()) {}
+Connection::Connection() : id_(NextConnectionId()) {
+  NetMetrics::Get().connections_opened->Increment();
+}
+
+Connection::~Connection() {
+  NetMetrics::Get().connections_closed->Increment();
+}
 
 bool Connection::SendFrame(wire::MsgType type, std::string_view payload) {
   if (closed_.load(std::memory_order_acquire)) {
@@ -23,10 +31,14 @@ bool Connection::SendFrame(wire::MsgType type, std::string_view payload) {
   sync::MutexLock lock(send_mu_);
   std::string bytes;
   wire::EncodeFrame(type, send_seq_, payload, &bytes);
+  const std::size_t frame_bytes = bytes.size();
   if (!SendBytes(std::move(bytes))) {
     return false;
   }
   ++send_seq_;
+  // Both transport backends route every outbound frame through here, so
+  // this is the single egress instrumentation point.
+  NetMetrics::Get().RecordFrameOut(type, frame_bytes);
   return true;
 }
 
@@ -41,7 +53,11 @@ bool FrameReceiver::Deliver(Connection& connection,
   // deliver them, then report the failure. Frames already received may be
   // delivered even after a local Close — like bytes already in a socket
   // buffer, teardown is asynchronous and handlers must tolerate it.
+  NetMetrics& nm = NetMetrics::Get();
   for (wire::Frame& frame : scratch_) {
+    // Single ingress instrumentation point (both backends deliver through
+    // this receiver).
+    nm.RecordFrameIn(frame.type, wire::kHeaderBytes + frame.payload.size());
     if (handler.on_frame) {
       handler.on_frame(connection, std::move(frame));
     }

@@ -53,7 +53,7 @@ struct ConnectionHandler {
 
 class Connection {
  public:
-  virtual ~Connection() = default;
+  virtual ~Connection();
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;

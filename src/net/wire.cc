@@ -66,6 +66,25 @@ std::array<std::uint32_t, 256> MakeCrcTable() {
 
 }  // namespace
 
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kHelloAck: return "hello_ack";
+    case MsgType::kSubmitBatch: return "submit_batch";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kSubmitAck: return "submit_ack";
+    case MsgType::kSubscribe: return "subscribe";
+    case MsgType::kSubscribeAck: return "subscribe_ack";
+    case MsgType::kStableBatch: return "stable_batch";
+    case MsgType::kGeoHello: return "geo_hello";
+    case MsgType::kGeoMetaBatch: return "geo_meta_batch";
+    case MsgType::kGeoFrontier: return "geo_frontier";
+    case MsgType::kGeoPayload: return "geo_payload";
+    case MsgType::kGeoAck: return "geo_ack";
+  }
+  return "unknown";
+}
+
 const char* WireErrorName(WireError error) {
   switch (error) {
     case WireError::kNone: return "none";

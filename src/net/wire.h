@@ -77,6 +77,11 @@ enum class MsgType : std::uint8_t {
 inline constexpr std::uint8_t kMinMsgType = 1;
 inline constexpr std::uint8_t kMaxMsgType = 13;
 
+// Stable snake_case name for a message type ("submit_batch"); used as the
+// `type` label on the per-type net metrics, so renaming one is a
+// dashboard-breaking change.
+const char* MsgTypeName(MsgType type);
+
 enum class WireError : std::uint8_t {
   kNone = 0,
   kBadMagic,         // frame does not start with "EUNO"

@@ -3,7 +3,29 @@
 #include <chrono>
 #include <utility>
 
+#include "src/wal/wal_metrics.h"
+
 namespace eunomia::wal {
+
+namespace {
+
+// Shared fsync hook: counts the sync and times it into the process-wide
+// histogram. The LogWriter mutex is held here (kRankWalWriter); both
+// metric writes are wait-free, and the lazy first registration nests under
+// the higher-ranked registry mutex.
+bool TimedSync(File* file) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const bool ok = file->Sync();
+  const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+      Clock::now() - start);
+  WalMetrics& wm = WalMetrics::Get();
+  wm.fsyncs->Increment();
+  wm.fsync_latency_us->Record(static_cast<std::uint64_t>(micros.count()));
+  return ok;
+}
+
+}  // namespace
 
 bool ParseFsyncPolicy(std::string_view text, FsyncPolicy* out) {
   if (text == "commit") {
@@ -54,7 +76,7 @@ LogWriter::~LogWriter() {
 }
 
 bool LogWriter::SyncLocked() {
-  if (file_ == nullptr || !file_->Sync()) {
+  if (file_ == nullptr || !TimedSync(file_.get())) {
     failed_ = true;
     return false;
   }
@@ -78,6 +100,7 @@ bool LogWriter::Append(std::uint8_t type, std::string_view payload) {
     }
     bytes_appended_.fetch_add(frame.size(), std::memory_order_relaxed);
     batches_written_.fetch_add(1, std::memory_order_relaxed);
+    WalMetrics::Get().appended_bytes->Add(frame.size());
     written_seq_ = ++appended_seq_;
     switch (options_.policy) {
       case FsyncPolicy::kPerCommit:
@@ -211,6 +234,7 @@ void LogWriter::WriterLoop() {
         written_seq_ = batch_seq;
         bytes_appended_.fetch_add(batch.size(), std::memory_order_relaxed);
         batches_written_.fetch_add(1, std::memory_order_relaxed);
+        WalMetrics::Get().appended_bytes->Add(batch.size());
         const bool want_sync =
             options_.policy == FsyncPolicy::kPerCommit ||
             sync_target_ > durable_seq_ ||
@@ -286,6 +310,7 @@ bool LogWriter::Compact(const std::function<bool(const RecordView&)>& keep) {
     // below lands them durably, so written_seq_ may advance to match.
     bytes += pending_;
     bytes_appended_.fetch_add(pending_.size(), std::memory_order_relaxed);
+    WalMetrics::Get().appended_bytes->Add(pending_.size());
     pending_.clear();
     written_seq_ = pending_seq_;
   }
@@ -317,6 +342,9 @@ bool LogWriter::Compact(const std::function<bool(const RecordView&)>& keep) {
   // Committers group-committing on done_cv_ may have had their records
   // folded into the rewrite; their durability target is now met.
   done_cv_.NotifyAll();
+  if (ok) {
+    WalMetrics::Get().compactions->Increment();
+  }
   return ok;
 }
 
@@ -326,9 +354,13 @@ LogState RecoverLog(Disk* disk, const std::string& name,
   if (!disk->ReadAll(name, &bytes)) {
     return LogState::kClean;  // missing file: an empty log
   }
+  const std::size_t before = records->size();
   std::size_t valid = 0;
   const LogState state = ReadLog(bytes, records, &valid);
+  WalMetrics& wm = WalMetrics::Get();
+  wm.recovered_records->Add(records->size() - before);
   if (state == LogState::kTornTail) {
+    wm.torn_tails->Increment();
     // Truncate the garbage so a reopened appender starts on a boundary.
     disk->WriteAtomic(name, std::string_view(bytes).substr(0, valid));
   }

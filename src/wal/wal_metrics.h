@@ -1,0 +1,26 @@
+// Process-wide WAL instrumentation (docs/METRICS.md §wal). Always on: the
+// hooks are relaxed atomic adds, and the series are registered lazily into
+// metrics::Registry::Default() the first time any LogWriter touches them.
+// Lazy registration may happen under kRankWalWriter (930); the registry
+// mutex ranks above it (kRankMetricsRegistry, 950), so this nests cleanly.
+#pragma once
+
+#include <memory>
+
+#include "src/metrics/counter.h"
+#include "src/metrics/histogram.h"
+
+namespace eunomia::wal {
+
+struct WalMetrics {
+  std::shared_ptr<metrics::Counter> fsyncs;
+  std::shared_ptr<metrics::Histogram> fsync_latency_us;
+  std::shared_ptr<metrics::Counter> appended_bytes;
+  std::shared_ptr<metrics::Counter> compactions;
+  std::shared_ptr<metrics::Counter> recovered_records;
+  std::shared_ptr<metrics::Counter> torn_tails;
+
+  static WalMetrics& Get();
+};
+
+}  // namespace eunomia::wal

@@ -8,6 +8,7 @@
 //   EUNOMIA_NEGATIVE_COMPILE=1  unguarded write to a GUARDED_BY field
 //   EUNOMIA_NEGATIVE_COMPILE=2  calling a REQUIRES method without the lock
 //   EUNOMIA_NEGATIVE_COMPILE=3  double-acquire of a non-reentrant Mutex
+//   EUNOMIA_NEGATIVE_COMPILE=4  unguarded read of the metrics-registry list
 
 #include "src/common/sync.h"
 
@@ -37,8 +38,19 @@ void DoubleAcquire(Counter& c) {
   c.mu.Lock();  // acquiring a capability already held
   c.mu.Unlock();
 }
+#elif EUNOMIA_NEGATIVE_COMPILE == 4
+// Mirrors the shape of metrics::Registry: a catalogue guarded by a
+// kRankMetricsRegistry mutex. Scrape paths must hold the lock to walk it.
+struct MiniRegistry {
+  Mutex mu{"negative::registry_mu", kRankMetricsRegistry};
+  int entries GUARDED_BY(mu) = 0;
+};
+
+int UnguardedScrape(MiniRegistry& r) {
+  return r.entries;  // reading the catalogue without the registry lock
+}
 #else
-#error "EUNOMIA_NEGATIVE_COMPILE must be 1, 2, or 3"
+#error "EUNOMIA_NEGATIVE_COMPILE must be 1, 2, 3, or 4"
 #endif
 
 }  // namespace
