@@ -53,6 +53,7 @@
 #include "src/metrics/registry.h"
 #include "src/eunomia/core.h"
 #include "src/eunomia/service.h"
+#include "src/net/epoll_transport.h"
 #include "src/net/loopback_transport.h"
 #include "src/net/tcp_transport.h"
 #include "src/ordbuf/ordered_buffer.h"
@@ -246,6 +247,15 @@ struct ScanPoint {
   // "inproc" for direct SubmitBatch calls, else the net transport used.
   const char* transport = "inproc";
   double ack_mean_us = -1.0;  // mean batch-ack round trip; < 0 = n/a
+  // TCP I/O backend ("epoll" or "threaded"); empty for non-TCP points.
+  const char* io = "";
+  // Batch-ack round-trip percentiles (bucket upper bounds); < 0 = n/a.
+  double ack_p50_us = -1.0;
+  double ack_p95_us = -1.0;
+  double ack_p99_us = -1.0;
+  // True for the below-capacity paced run (1 ms batch pacing) whose ack
+  // percentiles measure latency rather than saturation queueing.
+  bool paced = false;
 };
 
 // The machine-readable perf-trajectory artifact CI archives on every push:
@@ -273,8 +283,21 @@ void WriteBenchJson(const char* path, bool smoke,
                  "\"transport\": \"%s\", \"mops_per_s\": %.3f",
                  ordbuf::BackendName(points[i].backend), points[i].shards,
                  points[i].transport, points[i].ops_per_sec / 1e6);
+    if (points[i].io[0] != '\0') {
+      std::fprintf(f, ", \"io\": \"%s\"", points[i].io);
+    }
     if (points[i].ack_mean_us >= 0.0) {
       std::fprintf(f, ", \"ack_mean_us\": %.1f", points[i].ack_mean_us);
+    }
+    if (points[i].ack_p50_us >= 0.0) {
+      std::fprintf(f,
+                   ", \"ack_p50_us\": %.1f, \"ack_p95_us\": %.1f, "
+                   "\"ack_p99_us\": %.1f",
+                   points[i].ack_p50_us, points[i].ack_p95_us,
+                   points[i].ack_p99_us);
+    }
+    if (points[i].paced) {
+      std::fprintf(f, ", \"paced\": true");
     }
     std::fprintf(f, "}%s\n", i + 1 < points.size() ? "," : "");
   }
@@ -358,19 +381,21 @@ bool RunShardScan(bool smoke, std::vector<ScanPoint>* points) {
 // One client connection per partition; the partition_run backend (the
 // default everywhere) behind the service.
 bool RunTransportScan(const std::string& kind, bool smoke,
-                      std::vector<ScanPoint>* points) {
+                      net::TcpBackend io, std::vector<ScanPoint>* points) {
   const bench::FixedLoad load = MakeScanLoad(smoke);
   const std::vector<std::uint32_t> shard_counts =
       smoke ? std::vector<std::uint32_t>{1u, 4u}
             : std::vector<std::uint32_t>{1u, 2u, 4u, 8u};
+  const char* io_label = kind == "tcp" ? net::TcpBackendName(io) : "";
   std::printf(
-      "\nnetworked service (%s transport): %u client connections race "
+      "\nnetworked service (%s transport%s%s): %u client connections race "
       "%llu ops each\nthrough net::EunomiaClient -> eunomiad-style "
       "net::EunomiaServer (partition_run buffer)\n",
-      kind.c_str(), load.num_partitions,
+      kind.c_str(), kind == "tcp" ? ", io=" : "", io_label,
+      load.num_partitions,
       static_cast<unsigned long long>(load.ops_per_partition));
   Table table({"transport", "num_shards", "stabilized (kops/s)",
-               "ack mean (us)", "ack max (us)"});
+               "ack mean (us)", "ack p95 (us)", "ack max (us)"});
   bool all_converged = true;
   // The TCP runs double as the scrape-endpoint exercise for CI: the server
   // and service register into the default registry (where the net layer's
@@ -390,7 +415,7 @@ bool RunTransportScan(const std::string& kind, bool smoke,
     // Fresh transport per run: EunomiaServer::Stop shuts its transport down.
     bench::TransportRunResult result;
     if (kind == "tcp") {
-      net::TcpTransport transport;
+      std::unique_ptr<net::Transport> transport = net::MakeTcpTransport(io);
       std::atomic<bool> done{false};
       std::thread scraper([&metrics_address, &last_scrape, &done] {
         while (!done.load(std::memory_order_relaxed)) {
@@ -403,7 +428,7 @@ bool RunTransportScan(const std::string& kind, bool smoke,
         }
       });
       result = bench::MeasureTransportThroughput(
-          transport, "127.0.0.1:0", shards, load, 200,
+          *transport, "127.0.0.1:0", shards, load, 200,
           ordbuf::Backend::kPartitionRun, &metrics::Registry::Default());
       done.store(true, std::memory_order_relaxed);
       scraper.join();
@@ -415,16 +440,71 @@ bool RunTransportScan(const std::string& kind, bool smoke,
     if (result.ops_per_sec <= 0.0) {
       all_converged = false;
     }
-    points->push_back({ordbuf::Backend::kPartitionRun, shards,
-                       result.ops_per_sec, kind == "tcp" ? "tcp" : "loopback",
-                       result.ack_latency_us.Mean()});
+    ScanPoint point{ordbuf::Backend::kPartitionRun, shards, result.ops_per_sec,
+                    kind == "tcp" ? "tcp" : "loopback",
+                    result.ack_latency_us.Mean()};
+    point.io = io_label;
+    point.ack_p50_us =
+        static_cast<double>(result.ack_latency_us.Percentile(50));
+    point.ack_p95_us =
+        static_cast<double>(result.ack_latency_us.Percentile(95));
+    point.ack_p99_us =
+        static_cast<double>(result.ack_latency_us.Percentile(99));
+    points->push_back(point);
     table.AddRow({kind, Table::Num(shards, 0),
                   Table::Num(result.ops_per_sec / 1000.0, 0),
                   Table::Num(result.ack_latency_us.Mean(), 0),
+                  Table::Num(point.ack_p95_us, 0),
                   Table::Num(static_cast<double>(result.ack_latency_us.Max()),
                              0)});
   }
   table.Print();
+
+  // The latency point: the same client/server stack, but the producers pace
+  // themselves well below capacity (the paper's 1 ms batching, small
+  // batches), so the ack percentiles measure the round trip itself instead
+  // of saturation queueing. This is the "ack p95 at fixed load" series.
+  {
+    bench::FixedLoad paced = load;
+    // 20 ops per partition per millisecond = 320 kops/s offered across the
+    // 16 partitions — far below the measured capacity, so the percentiles
+    // reflect the round trip, not queueing.
+    paced.ops_per_batch = 20;
+    paced.batch_interval_us = 1000;
+    paced.ops_per_partition = smoke ? 1'000 : 10'000;
+    const std::uint32_t shards = shard_counts.back();
+    bench::TransportRunResult result;
+    if (kind == "tcp") {
+      std::unique_ptr<net::Transport> transport = net::MakeTcpTransport(io);
+      result = bench::MeasureTransportThroughput(
+          *transport, "127.0.0.1:0", shards, paced, 200,
+          ordbuf::Backend::kPartitionRun, &metrics::Registry::Default());
+    } else {
+      net::LoopbackTransport transport;
+      result = bench::MeasureTransportThroughput(transport, "fig2-paced",
+                                                 shards, paced);
+    }
+    if (result.ops_per_sec <= 0.0) {
+      all_converged = false;
+    }
+    ScanPoint point{ordbuf::Backend::kPartitionRun, shards, result.ops_per_sec,
+                    kind == "tcp" ? "tcp" : "loopback",
+                    result.ack_latency_us.Mean()};
+    point.io = io_label;
+    point.paced = true;
+    point.ack_p50_us =
+        static_cast<double>(result.ack_latency_us.Percentile(50));
+    point.ack_p95_us =
+        static_cast<double>(result.ack_latency_us.Percentile(95));
+    point.ack_p99_us =
+        static_cast<double>(result.ack_latency_us.Percentile(99));
+    points->push_back(point);
+    std::printf(
+        "\npaced below-capacity run (%u shards, %llu ops/batch every 1 ms): "
+        "ack p50 %.0f us, p95 %.0f us, p99 %.0f us\n",
+        shards, static_cast<unsigned long long>(paced.ops_per_batch),
+        point.ack_p50_us, point.ack_p95_us, point.ack_p99_us);
+  }
   if (kind == "tcp") {
     metrics_server.Stop();
     // A mid-run scrape that is missing the key series means the endpoint or
@@ -457,7 +537,7 @@ bool RunTransportScan(const std::string& kind, bool smoke,
   return all_converged;
 }
 
-int Run(bool smoke, const std::string& transport) {
+int Run(bool smoke, const std::string& transport, net::TcpBackend io) {
   harness::PrintBanner(
       "Figure 2: maximum throughput, Eunomia vs a synchronous sequencer",
       "clients connect directly to the services (each client = one "
@@ -467,7 +547,7 @@ int Run(bool smoke, const std::string& transport) {
   if (smoke) {
     bool ok = RunShardScan(/*smoke=*/true, &points);
     if (transport != "inproc") {
-      ok = RunTransportScan(transport, /*smoke=*/true, &points) && ok;
+      ok = RunTransportScan(transport, /*smoke=*/true, io, &points) && ok;
     }
     WriteBenchJson("BENCH_fig2.json", /*smoke=*/true, points,
                    MakeScanLoad(true));
@@ -508,7 +588,7 @@ int Run(bool smoke, const std::string& transport) {
 
   bool ok = RunShardScan(/*smoke=*/false, &points);
   if (transport != "inproc") {
-    ok = RunTransportScan(transport, /*smoke=*/false, &points) && ok;
+    ok = RunTransportScan(transport, /*smoke=*/false, io, &points) && ok;
   }
   WriteBenchJson("BENCH_fig2.json", /*smoke=*/false, points,
                  MakeScanLoad(false));
@@ -519,7 +599,7 @@ int Run(bool smoke, const std::string& transport) {
 }  // namespace eunomia
 
 int main(int argc, char** argv) {
-  eunomia::bench::Flags flags(argc, argv, {"smoke", "transport"});
+  eunomia::bench::Flags flags(argc, argv, {"smoke", "transport", "io"});
   if (!flags.ok()) {
     return flags.FailUsage();
   }
@@ -530,5 +610,11 @@ int main(int argc, char** argv) {
                  transport.c_str());
     return 2;
   }
-  return eunomia::Run(flags.smoke(), transport);
+  eunomia::net::TcpBackend io = eunomia::net::TcpBackend::kEpoll;
+  if (!eunomia::net::ParseTcpBackend(flags.Get("io", "epoll"), &io)) {
+    std::fprintf(stderr, "--io must be epoll or threaded (got '%s')\n",
+                 flags.Get("io", "epoll").c_str());
+    return 2;
+  }
+  return eunomia::Run(flags.smoke(), transport, io);
 }

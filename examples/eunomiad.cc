@@ -65,6 +65,7 @@
 #include "src/metrics/registry.h"
 #include "src/net/eunomia_client.h"
 #include "src/net/eunomia_server.h"
+#include "src/net/epoll_transport.h"
 #include "src/net/tcp_transport.h"
 #include "src/ordbuf/ordered_buffer.h"
 #include "src/wal/disk.h"
@@ -96,7 +97,8 @@ bool ParseBackend(const std::string& name, eunomia::ordbuf::Backend* backend) {
 // real loopback socket. Verifies the end-to-end contract: N connections of
 // interleaved batches in, one complete stable stream out, in (ts, partition)
 // order.
-int RunSmoke(eunomia::net::EunomiaServer::Options options) {
+int RunSmoke(eunomia::net::EunomiaServer::Options options,
+             eunomia::net::TcpBackend io) {
   using namespace eunomia;
   options.num_partitions = 4;
   options.stable_period_us = 200;
@@ -107,7 +109,8 @@ int RunSmoke(eunomia::net::EunomiaServer::Options options) {
     std::fprintf(stderr, "eunomiad --smoke: could not bind a metrics port\n");
     return 1;
   }
-  net::TcpTransport transport;
+  std::unique_ptr<net::Transport> transport_owner = net::MakeTcpTransport(io);
+  net::Transport& transport = *transport_owner;
   net::EunomiaServer server(&transport, options);
   const std::string address = server.Start("127.0.0.1:0");
   if (address.empty()) {
@@ -276,7 +279,8 @@ std::string SelfExe() {
 }
 
 pid_t SpawnDurableServer(const std::string& exe, const std::string& data_dir,
-                         const std::string& addr_file) {
+                         const std::string& addr_file,
+                         eunomia::net::TcpBackend io) {
   const pid_t pid = fork();
   if (pid != 0) {
     return pid;
@@ -286,10 +290,12 @@ pid_t SpawnDurableServer(const std::string& exe, const std::string& data_dir,
   const std::string addr_file_arg = "--addr-file=" + addr_file;
   const std::string metrics_file_arg =
       "--metrics-addr-file=" + data_dir + "/metrics-address";
+  const std::string io_arg =
+      std::string("--io=") + eunomia::net::TcpBackendName(io);
   execl(exe.c_str(), exe.c_str(), "--port=0", "--partitions=2",
         "--period-us=200", "--fsync=commit", "--metrics-port=0",
-        data_dir_arg.c_str(), addr_file_arg.c_str(), metrics_file_arg.c_str(),
-        static_cast<char*>(nullptr));
+        io_arg.c_str(), data_dir_arg.c_str(), addr_file_arg.c_str(),
+        metrics_file_arg.c_str(), static_cast<char*>(nullptr));
   _exit(127);
 }
 
@@ -326,7 +332,7 @@ std::string AwaitAddress(const std::string& addr_file, pid_t child) {
 constexpr std::uint32_t kCrashBatches = 10;
 constexpr std::uint32_t kCrashOpsPerBatch = 50;
 
-bool SubmitAckedWave(eunomia::net::TcpTransport* transport,
+bool SubmitAckedWave(eunomia::net::Transport* transport,
                      const std::string& address, eunomia::PartitionId partition,
                      eunomia::Timestamp base,
                      std::set<eunomia::OpOrderKey>* submitted) {
@@ -351,7 +357,7 @@ bool SubmitAckedWave(eunomia::net::TcpTransport* transport,
   return acked;
 }
 
-int RunCrashSmoke() {
+int RunCrashSmoke(eunomia::net::TcpBackend io) {
   using namespace eunomia;
   const std::string exe = SelfExe();
   if (exe.empty()) {
@@ -370,7 +376,7 @@ int RunCrashSmoke() {
     std::filesystem::remove_all(data_dir, ec);
   };
 
-  pid_t child = SpawnDurableServer(exe, data_dir, addr_file);
+  pid_t child = SpawnDurableServer(exe, data_dir, addr_file, io);
   std::string address = AwaitAddress(addr_file, child);
   if (address.empty()) {
     std::fprintf(stderr, "eunomiad --crash-smoke: child never came up\n");
@@ -382,7 +388,8 @@ int RunCrashSmoke() {
 
   // Wave 1: acked ops on partition 0 only. Partition 1 stays silent, so the
   // stable frontier is pinned at 0 until the post-restart heartbeats.
-  net::TcpTransport transport;
+  std::unique_ptr<net::Transport> transport_owner = net::MakeTcpTransport(io);
+  net::Transport& transport = *transport_owner;
   std::set<OpOrderKey> wave1;
   if (!SubmitAckedWave(&transport, address, /*partition=*/0, /*base=*/0,
                        &wave1)) {
@@ -427,7 +434,7 @@ int RunCrashSmoke() {
   std::printf("eunomiad --crash-smoke: killed -9 mid-churn, respawning on the "
               "same data dir\n");
 
-  child = SpawnDurableServer(exe, data_dir, addr_file);
+  child = SpawnDurableServer(exe, data_dir, addr_file, io);
   address = AwaitAddress(addr_file, child);
   if (address.empty()) {
     std::fprintf(stderr,
@@ -562,12 +569,18 @@ int main(int argc, char** argv) {
       argc, argv,
       {"host", "port", "partitions", "shards", "buffer", "period-us", "ft",
        "replicas", "data-dir", "fsync", "addr-file", "metrics-port",
-       "metrics-addr-file", "smoke", "crash-smoke"});
+       "metrics-addr-file", "smoke", "crash-smoke", "io"});
   if (!flags.ok()) {
     return flags.FailUsage();
   }
+  eunomia::net::TcpBackend io = eunomia::net::TcpBackend::kEpoll;
+  if (!eunomia::net::ParseTcpBackend(flags.Get("io", "epoll"), &io)) {
+    std::fprintf(stderr, "--io must be epoll or threaded (got '%s')\n",
+                 flags.Get("io", "epoll").c_str());
+    return 2;
+  }
   if (flags.Has("crash-smoke")) {
-    return RunCrashSmoke();
+    return RunCrashSmoke(io);
   }
   eunomia::net::EunomiaServer::Options options;
   options.fault_tolerant = flags.Has("ft");
@@ -609,7 +622,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (flags.smoke()) {
-    return RunSmoke(options);
+    return RunSmoke(options, io);
   }
   if (flags.Has("metrics-addr-file") && !flags.Has("metrics-port")) {
     std::fprintf(stderr, "--metrics-addr-file requires --metrics-port\n");
@@ -623,8 +636,9 @@ int main(int argc, char** argv) {
 
   const std::string address = flags.Get("host", "127.0.0.1") + ":" +
                               std::to_string(flags.GetUint("port", 7777));
-  eunomia::net::TcpTransport transport;
-  eunomia::net::EunomiaServer server(&transport, options);
+  std::unique_ptr<eunomia::net::Transport> transport =
+      eunomia::net::MakeTcpTransport(io);
+  eunomia::net::EunomiaServer server(transport.get(), options);
   const std::string bound = server.Start(address);
   if (bound.empty()) {
     std::fprintf(stderr, "eunomiad: could not listen on %s\n", address.c_str());

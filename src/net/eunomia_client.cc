@@ -297,14 +297,28 @@ bool EunomiaClient::SubmitBatch(PartitionId partition,
       s.inflight_batches.emplace_back(s.ops_submitted + n, NowMicros());
       s.ops_submitted += n;
     }
-    const std::string payload = wire::EncodeSubmitBatch(
+    // Build the frame body outside the send lock; SendFrameBody stamps the
+    // header (sequence number included) in place — one buffer per frame,
+    // no payload re-copy.
+    std::string frame = wire::EncodeSubmitBatchFrame(
         partition, batch.data() + offset, static_cast<std::size_t>(n));
-    if (!s.connection->SendFrame(wire::MsgType::kSubmitBatch, payload)) {
+    if (!s.connection->SendFrameBody(wire::MsgType::kSubmitBatch,
+                                     std::move(frame))) {
       return false;
     }
     offset += static_cast<std::size_t>(n);
   }
+  // The batch is fully encoded; hand its capacity to the next
+  // AcquireBatchBuffer instead of freeing it.
+  if (batch.capacity() > spare_batch_.capacity()) {
+    batch.clear();
+    spare_batch_ = std::move(batch);
+  }
   return true;
+}
+
+std::vector<OpRecord> EunomiaClient::AcquireBatchBuffer() {
+  return std::move(spare_batch_);
 }
 
 bool EunomiaClient::Heartbeat(PartitionId partition, Timestamp ts) {

@@ -88,6 +88,14 @@ class EunomiaClient {
   bool SubmitBatch(PartitionId partition, std::vector<OpRecord> batch);
   bool Heartbeat(PartitionId partition, Timestamp ts);
 
+  // Returns an empty batch vector whose capacity was recycled from a
+  // previous SubmitBatch (the submitted vector is dead once its ops are
+  // encoded), or a fresh one. Producers that submit continuously pair this
+  // with SubmitBatch to stop allocating a new vector per batch — the same
+  // contract as EunomiaService::AcquireBatchBuffer, so generic drivers can
+  // use either through one hook. Producer thread only, like SubmitBatch.
+  std::vector<OpRecord> AcquireBatchBuffer();
+
   // Waits until every submitted op is acknowledged (or timeout/disconnect).
   bool WaitForAcks();
 
@@ -108,6 +116,9 @@ class EunomiaClient {
   Transport* const transport_;
   const std::string address_;
   const std::shared_ptr<Session> session_;
+  // Single-slot batch-vector recycle for AcquireBatchBuffer. Touched only
+  // from the producer thread (the SubmitBatch caller), so no lock.
+  std::vector<OpRecord> spare_batch_;
 };
 
 }  // namespace eunomia::net

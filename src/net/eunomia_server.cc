@@ -135,6 +135,11 @@ void EunomiaServer::SubmitToService(PartitionId partition,
   }
 }
 
+std::vector<OpRecord> EunomiaServer::AcquireBatchBuffer() {
+  return service_ != nullptr ? service_->AcquireBatchBuffer()
+                             : std::vector<OpRecord>{};
+}
+
 void EunomiaServer::HeartbeatToService(PartitionId partition, Timestamp ts) {
   if (service_ != nullptr) {
     service_->Heartbeat(partition, ts);
@@ -178,6 +183,7 @@ void EunomiaServer::OnFrame(Connection& connection, wire::Frame&& frame) {
       const std::uint64_t received_at =
           ack_latency_us_ != nullptr ? NowMicros() : 0;
       wire::SubmitBatchMsg msg;
+      msg.ops = AcquireBatchBuffer();
       if (!wire::DecodeSubmitBatch(frame.payload, &msg) ||
           msg.partition >= options_.num_partitions) {
         Reject(connection);
@@ -290,11 +296,17 @@ void EunomiaServer::OnStable(const std::vector<OpRecord>& ops) {
   for (std::size_t c = 0; c < chunks; ++c) {
     const std::size_t count =
         std::min<std::size_t>(ops.size() - offset, frame_cap);
-    const std::string payload =
-        wire::EncodeStableBatch(seq + c, ops.data() + offset, count);
-    for (const auto& subscriber : subscribers) {
-      subscriber->SendFrame(wire::MsgType::kStableBatch, payload);
+    // Each subscriber's frame differs only in the header (its session
+    // sequence), so build the body once and copy it per extra subscriber —
+    // the single-subscriber case sends with no copy at all.
+    std::string frame =
+        wire::EncodeStableBatchFrame(seq + c, ops.data() + offset, count);
+    for (std::size_t i = 0; i + 1 < subscribers.size(); ++i) {
+      subscribers[i]->SendFrameBody(wire::MsgType::kStableBatch,
+                                    std::string(frame));
     }
+    subscribers.back()->SendFrameBody(wire::MsgType::kStableBatch,
+                                      std::move(frame));
     offset += count;
   }
 }

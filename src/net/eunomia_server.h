@@ -118,6 +118,11 @@ class EunomiaServer {
   void Reject(Connection& connection);
 
   void SubmitToService(PartitionId partition, std::vector<OpRecord> batch);
+  // An empty batch vector recycled from the service's shard pipeline (or a
+  // fresh one for services without a pool); submit decoding resizes it
+  // without allocating, closing the acquire → submit → drain → recycle loop
+  // for remote producers too.
+  std::vector<OpRecord> AcquireBatchBuffer();
   void HeartbeatToService(PartitionId partition, Timestamp ts);
 
   Transport* const transport_;

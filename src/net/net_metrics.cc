@@ -38,6 +38,15 @@ NetMetrics& NetMetrics::Get() {
     m->outbox_stalls = registry.AddCounter(
         "eunomia_net_outbox_stalls_total",
         "Send-side backpressure episodes (outbox hit capacity)");
+    m->epoll_wakeups = registry.AddCounter(
+        "eunomia_net_epoll_wakeups_total",
+        "epoll_wait returns across all io-loop threads");
+    m->writev_frames = registry.AddHistogram(
+        "eunomia_net_writev_frames",
+        "Frames coalesced into one writev (epoll backend)");
+    m->io_loop_iteration_us = registry.AddHistogram(
+        "eunomia_net_io_loop_iteration_us",
+        "Busy microseconds per io-loop wakeup (dispatch + posted tasks)");
     return m;
   }();
   return *instance;

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "src/metrics/counter.h"
+#include "src/metrics/histogram.h"
 #include "src/net/wire.h"
 
 namespace eunomia::net {
@@ -31,6 +32,15 @@ struct NetMetrics {
   // Times a sender blocked because a TCP connection's outbox was at
   // capacity (counted once per full-to-drained episode, not per wait).
   std::shared_ptr<metrics::Counter> outbox_stalls;
+
+  // Event-loop (epoll) backend internals. epoll_wakeups counts epoll_wait
+  // returns; writev_frames is the number of frames coalesced into each
+  // writev (the syscall-amortization signal); io_loop_iteration_us is the
+  // busy time per wakeup — readiness dispatch plus posted tasks, excluding
+  // the blocked wait itself.
+  std::shared_ptr<metrics::Counter> epoll_wakeups;
+  std::shared_ptr<metrics::Histogram> writev_frames;
+  std::shared_ptr<metrics::Histogram> io_loop_iteration_us;
 
   void RecordFrameOut(wire::MsgType type, std::size_t bytes) {
     const auto index = static_cast<std::size_t>(type);

@@ -279,6 +279,7 @@ std::string TcpTransport::Listen(const std::string& address,
     listen_fd_ = fd;
     listen_host_ = host;
     accept_handler_ = std::move(handler);
+    EnsureReaperLocked();
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return host + ":" + std::to_string(ntohs(bound.sin_port));
@@ -327,10 +328,45 @@ void TcpTransport::AcceptLoop() {
   }
 }
 
+// Starts the periodic idle reaper the first time the transport has
+// anything to reap for. Runs until Shutdown; bounds how long finished
+// connections linger when the accept/dial path goes quiet.
+void TcpTransport::EnsureReaperLocked() {
+  if (reaper_started_ || shutdown_) {
+    return;
+  }
+  reaper_started_ = true;
+  reaper_thread_ = std::thread([this] { ReaperLoop(); });
+}
+
+void TcpTransport::ReaperLoop() {
+  for (;;) {
+    {
+      sync::MutexLock lock(mu_);
+      while (!shutdown_) {
+        if (reaper_cv_.WaitFor(mu_, idle_reap_period_) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      if (shutdown_) {
+        return;
+      }
+    }
+    ReapFinishedConnections();
+  }
+}
+
+std::size_t TcpTransport::tracked_connections() {
+  sync::MutexLock lock(mu_);
+  return connections_.size();
+}
+
 // Joins and releases connections whose reader and writer have both already
-// exited (closed peers). Called opportunistically from AcceptLoop and Dial,
-// so on a churny workload dead connections do not accumulate fds/threads
-// until Shutdown; the joins are instant because the threads are done.
+// exited (closed peers). Called opportunistically from AcceptLoop and Dial
+// plus periodically from ReaperLoop, so on a churny workload dead
+// connections do not accumulate fds/threads until Shutdown; the joins are
+// instant because the threads are done.
 void TcpTransport::ReapFinishedConnections() {
   std::vector<std::shared_ptr<Conn>> finished;
   {
@@ -376,6 +412,7 @@ std::shared_ptr<Connection> TcpTransport::Dial(const std::string& address,
       return nullptr;
     }
     connections_.push_back(connection);
+    EnsureReaperLocked();
   }
   NetMetrics::Get().tcp_dials->Increment();
   connection->Start();
@@ -391,6 +428,10 @@ void TcpTransport::Shutdown() {
     }
     shutdown_ = true;
     listen_fd = listen_fd_;
+  }
+  reaper_cv_.NotifyAll();
+  if (reaper_thread_.joinable()) {
+    reaper_thread_.join();
   }
   if (listen_fd >= 0) {
     // shutdown() (not close()) unblocks the accept thread without freeing

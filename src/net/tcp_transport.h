@@ -12,8 +12,14 @@
 //
 // Addresses are "ipv4:port" strings; Listen("127.0.0.1:0") binds an
 // ephemeral port and returns the concrete "127.0.0.1:41873" form.
+//
+// Finished connections (both threads exited) are reaped opportunistically
+// on the accept/dial path AND by a periodic idle reaper thread, so a quiet
+// listener does not hold dead fds and joined-out threads indefinitely
+// after a burst of client churn.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
@@ -26,13 +32,21 @@ namespace eunomia::net {
 
 class TcpTransport : public Transport {
  public:
-  TcpTransport() = default;
+  // `idle_reap_period` bounds how long a finished connection can outlive
+  // its peer on an otherwise idle transport (tests shrink it).
+  explicit TcpTransport(
+      std::chrono::milliseconds idle_reap_period = std::chrono::seconds(1))
+      : idle_reap_period_(idle_reap_period) {}
   ~TcpTransport() override;
 
   std::string Listen(const std::string& address, AcceptHandler handler) override;
   std::shared_ptr<Connection> Dial(const std::string& address,
                                    ConnectionHandler handler) override;
   void Shutdown() override;
+
+  // Connections currently tracked (live or finished-but-unreaped). Drops
+  // back to the live count within ~idle_reap_period of peers going away.
+  std::size_t tracked_connections() EXCLUDES(mu_);
 
   static constexpr std::size_t kOutboxCapacityBytes = 8u << 20;
 
@@ -41,9 +55,15 @@ class TcpTransport : public Transport {
 
   void AcceptLoop();
   void ReapFinishedConnections();
+  void ReaperLoop();
+  void EnsureReaperLocked() REQUIRES(mu_);
 
+  const std::chrono::milliseconds idle_reap_period_;
   sync::Mutex mu_{"TcpTransport::mu_", sync::kRankTransport};
   bool shutdown_ GUARDED_BY(mu_) = false;
+  bool reaper_started_ GUARDED_BY(mu_) = false;
+  sync::CondVar reaper_cv_;
+  std::thread reaper_thread_;
   // Written once under mu_ by Listen before the accept thread exists, then
   // read lock-free by AcceptLoop; Shutdown closes the fd only after joining
   // the accept thread. Not GUARDED_BY: the publish order is the guard.

@@ -42,6 +42,21 @@ bool Connection::SendFrame(wire::MsgType type, std::string_view payload) {
   return true;
 }
 
+bool Connection::SendFrameBody(wire::MsgType type, std::string frame) {
+  if (closed_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  sync::MutexLock lock(send_mu_);
+  wire::FinalizeFrameHeader(type, send_seq_, &frame);
+  const std::size_t frame_bytes = frame.size();
+  if (!SendBytes(std::move(frame))) {
+    return false;
+  }
+  ++send_seq_;
+  NetMetrics::Get().RecordFrameOut(type, frame_bytes);
+  return true;
+}
+
 namespace internal {
 
 bool FrameReceiver::Deliver(Connection& connection,

@@ -41,8 +41,10 @@ namespace eunomia::net {
 class Connection;
 
 // Callbacks an endpoint installs on a connection. on_frame receives decoded
-// frames in FIFO order; on_close fires exactly once, with kNone for a clean
-// peer close and the wire error otherwise. After on_close returns the
+// frames in FIFO order; the frame's payload view is only valid for the
+// duration of the callback (it points into the transport's receive buffer)
+// — handlers copy whatever they retain. on_close fires exactly once, with
+// kNone for a clean peer close and the wire error otherwise. After on_close returns the
 // transport drops the handler, releasing everything it captured — so a
 // handler may own (a share of) the very object that owns this connection
 // without leaking the pair.
@@ -64,6 +66,13 @@ class Connection {
   // sequence numbers were assigned. Blocks while the outbound buffer is
   // full; returns false if the connection is (or becomes) closed.
   bool SendFrame(wire::MsgType type, std::string_view payload);
+
+  // Copy-free variant for the batch hot paths: `frame` is a pre-built frame
+  // body from a wire::Encode*Frame builder (header hole + payload); the
+  // header — including the session sequence number — is stamped in place
+  // under the send lock, so the payload is never re-copied into a second
+  // buffer. Same ordering, backpressure and failure semantics as SendFrame.
+  bool SendFrameBody(wire::MsgType type, std::string frame);
 
   // Initiates teardown. Idempotent; the handler's on_close still fires
   // (once) from the transport thread. Pending outbound frames may be lost.

@@ -101,17 +101,37 @@ const char* WireErrorName(WireError error);
 std::uint32_t Crc32(const void* data, std::size_t size);
 
 // A decoded frame: type + session sequence + raw payload bytes.
+//
+// `payload` is a zero-copy view into the decoder's input (the caller's
+// receive buffer or the decoder's carry buffer) — valid only until the next
+// Feed on the decoder that produced it. Transports dispatch every decoded
+// frame before reading again, so handlers may use the payload for the
+// duration of on_frame but must copy anything they retain.
 struct Frame {
   MsgType type = MsgType::kHello;
   std::uint64_t seq = 0;
-  std::string payload;
+  std::string_view payload;
 };
 
 // Serializes one frame (header + payload) and appends it to *out.
 void EncodeFrame(MsgType type, std::uint64_t seq, std::string_view payload,
                  std::string* out);
 
+// Stamps a complete frame header over the first kHeaderBytes of *frame
+// (built by one of the Encode*Frame body builders below): magic, version,
+// type, payload length, payload CRC and the session sequence number. Split
+// from payload encoding so senders can build the payload once, outside the
+// connection's send lock, and stamp the (lock-ordered) sequence number in
+// place — no second payload-sized buffer or copy per frame.
+void FinalizeFrameHeader(MsgType type, std::uint64_t seq, std::string* frame);
+
 // Incremental frame decoder for one receive direction of a session.
+//
+// Complete frames are parsed in place from the caller's receive buffer;
+// only a trailing partial frame is copied into the carry buffer. A reader
+// that hands over whole frames per chunk (the common case under epoll's
+// read-until-EAGAIN) therefore never pays an intermediate memcpy of the
+// stream.
 class FrameDecoder {
  public:
   // Consumes `size` bytes and appends every completed frame to *frames.
@@ -122,11 +142,22 @@ class FrameDecoder {
   WireError error() const { return error_; }
   // True while a partial frame is buffered: an EOF in this state is a
   // truncated stream, not a clean close.
-  bool mid_frame() const { return !buffer_.empty(); }
+  bool mid_frame() const { return buffer_.size() > buffer_pos_; }
   std::uint64_t frames_decoded() const { return next_seq_; }
 
  private:
+  // Parses complete frames from [data, data+size), appending to *frames.
+  // Returns the number of bytes consumed; stops at the first partial frame
+  // or (setting error_) the first malformed header/payload.
+  std::size_t Parse(const char* data, std::size_t size,
+                    std::vector<Frame>* frames);
+
+  // Carry buffer for a trailing partial frame. The prefix [0, buffer_pos_)
+  // was consumed by the previous Feed but is erased lazily at the start of
+  // the next one — compacting immediately would invalidate the payload
+  // views just handed out.
   std::string buffer_;
+  std::size_t buffer_pos_ = 0;
   std::uint64_t next_seq_ = 0;
   WireError error_ = WireError::kNone;
 };
@@ -180,6 +211,14 @@ bool DecodeHelloAck(std::string_view payload, HelloAckMsg* msg);
 // several ≤ kMaxOpsPerFrame frames without copying sub-vectors.
 std::string EncodeSubmitBatch(PartitionId partition, const OpRecord* ops,
                               std::size_t count);
+// Frame-body builder for the batch hot paths: returns a buffer with
+// kHeaderBytes of (zeroed) header hole followed by the encoded payload,
+// ready for Connection::SendFrameBody, which fills the hole via
+// FinalizeFrameHeader. Byte-for-byte identical on the wire to
+// EncodeFrame(EncodeSubmitBatch(...)) — pinned by wire_test — but without
+// the second payload-sized allocation and copy.
+std::string EncodeSubmitBatchFrame(PartitionId partition, const OpRecord* ops,
+                                   std::size_t count);
 inline std::string EncodeSubmitBatch(PartitionId partition,
                                      const std::vector<OpRecord>& ops) {
   return EncodeSubmitBatch(partition, ops.data(), ops.size());
@@ -197,6 +236,9 @@ bool DecodeSubscribeAck(std::string_view payload, SubscribeAckMsg* msg);
 
 std::string EncodeStableBatch(std::uint64_t stream_seq, const OpRecord* ops,
                               std::size_t count);
+// Frame-body builder; see EncodeSubmitBatchFrame.
+std::string EncodeStableBatchFrame(std::uint64_t stream_seq,
+                                   const OpRecord* ops, std::size_t count);
 inline std::string EncodeStableBatch(std::uint64_t stream_seq,
                                      const std::vector<OpRecord>& ops) {
   return EncodeStableBatch(stream_seq, ops.data(), ops.size());

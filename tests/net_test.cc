@@ -379,6 +379,38 @@ TEST(NetE2eTest, OversizedBatchesAreChunkedIntoMultipleFrames) {
   server.Stop();
 }
 
+// Regression (PR 10 satellite): finished connections must be reaped even
+// when the accept path goes quiet afterwards. A burst of client churn
+// followed by idleness must not leave dead fds/threads tracked until
+// Shutdown — the periodic idle reaper bounds their lifetime.
+TEST(TcpTransportTest, IdleReapReleasesChurnedConnections) {
+  TcpTransport transport(/*idle_reap_period=*/std::chrono::milliseconds(50));
+  std::atomic<int> closes{0};
+  Transport::AcceptHandler accept = [&](const std::shared_ptr<Connection>&) {
+    ConnectionHandler handler;
+    handler.on_close = [&](Connection&, wire::WireError) {
+      closes.fetch_add(1);
+    };
+    return handler;
+  };
+  const std::string address = transport.Listen("127.0.0.1:0", accept);
+  ASSERT_FALSE(address.empty());
+  constexpr int kChurn = 8;
+  for (int i = 0; i < kChurn; ++i) {
+    auto connection = transport.Dial(address, {});
+    ASSERT_NE(connection, nullptr);
+    ASSERT_TRUE(connection->SendFrame(wire::MsgType::kHeartbeat, "hi"));
+    connection->Close();
+  }
+  ASSERT_TRUE(WaitUntil([&] { return closes.load() == kChurn; }));
+  // No accepts or dials happen from here on: only the idle reaper can
+  // shrink the registry. Both sides of every churned connection (dialed +
+  // accepted) must go away; nothing live remains.
+  EXPECT_TRUE(WaitUntil([&] { return transport.tracked_connections() == 0; },
+                        std::chrono::seconds(5)));
+  transport.Shutdown();
+}
+
 TEST(NetE2eTest, FtServerStabilizesOverLoopback) {
   LoopbackTransport transport;
   EunomiaServer::Options options;

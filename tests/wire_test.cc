@@ -22,15 +22,27 @@ std::string EncodeOneFrame(MsgType type, std::uint64_t seq,
   return bytes;
 }
 
+// An owning copy of a decoded frame — Frame::payload is a view into the
+// decoder's input, so a helper that outlives the input must copy it.
+struct OwnedFrame {
+  MsgType type = MsgType::kHello;
+  std::uint64_t seq = 0;
+  std::string payload;
+};
+
 // Feeds `bytes` to a fresh decoder in one call and expects exactly one
 // well-formed frame.
-Frame DecodeOneFrame(const std::string& bytes) {
+OwnedFrame DecodeOneFrame(const std::string& bytes) {
   FrameDecoder decoder;
   std::vector<Frame> frames;
   EXPECT_TRUE(decoder.Feed(bytes.data(), bytes.size(), &frames));
   EXPECT_EQ(frames.size(), 1u);
   EXPECT_FALSE(decoder.mid_frame());
-  return frames.empty() ? Frame{} : std::move(frames.front());
+  if (frames.empty()) {
+    return OwnedFrame{};
+  }
+  return OwnedFrame{frames.front().type, frames.front().seq,
+                    std::string(frames.front().payload)};
 }
 
 std::vector<OpRecord> RandomOps(Rng& rng, std::uint32_t count) {
@@ -46,7 +58,7 @@ std::vector<OpRecord> RandomOps(Rng& rng, std::uint32_t count) {
 TEST(WireTest, HelloRoundTrip) {
   HelloMsg in;
   in.num_partitions = 42;
-  const Frame frame =
+  const OwnedFrame frame =
       DecodeOneFrame(EncodeOneFrame(MsgType::kHello, 0, EncodeHello(in)));
   EXPECT_EQ(frame.type, MsgType::kHello);
   HelloMsg out;
@@ -100,22 +112,31 @@ TEST(WireTest, RandomizedBatchesSurviveArbitraryChunking) {
     }
     FrameDecoder decoder;
     std::vector<Frame> frames;
+    std::vector<std::uint64_t> seqs;
+    std::vector<SubmitBatchMsg> got_msgs;
     std::size_t pos = 0;
     while (pos < stream.size()) {
       const std::size_t chunk =
           std::min<std::size_t>(1 + rng.NextBounded(977), stream.size() - pos);
       ASSERT_TRUE(decoder.Feed(stream.data() + pos, chunk, &frames));
+      // Payload views are valid only until the next Feed — consume each
+      // delivery immediately, as a real transport handler does.
+      for (const Frame& frame : frames) {
+        seqs.push_back(frame.seq);
+        SubmitBatchMsg got;
+        ASSERT_TRUE(DecodeSubmitBatch(frame.payload, &got));
+        got_msgs.push_back(std::move(got));
+      }
+      frames.clear();
       pos += chunk;
     }
     EXPECT_FALSE(decoder.mid_frame());
-    ASSERT_EQ(frames.size(), sent.size());
-    for (std::size_t i = 0; i < frames.size(); ++i) {
-      EXPECT_EQ(frames[i].seq, i);
-      SubmitBatchMsg got;
-      ASSERT_TRUE(DecodeSubmitBatch(frames[i].payload, &got));
-      EXPECT_EQ(got.partition, sent[i].partition);
-      ASSERT_EQ(got.ops.size(), sent[i].ops.size());
-      EXPECT_EQ(got.ops, sent[i].ops);
+    ASSERT_EQ(got_msgs.size(), sent.size());
+    for (std::size_t i = 0; i < got_msgs.size(); ++i) {
+      EXPECT_EQ(seqs[i], i);
+      EXPECT_EQ(got_msgs[i].partition, sent[i].partition);
+      ASSERT_EQ(got_msgs[i].ops.size(), sent[i].ops.size());
+      EXPECT_EQ(got_msgs[i].ops, sent[i].ops);
     }
   }
 }
@@ -253,6 +274,28 @@ TEST(WireTest, MalformedPayloadsRejectedNotCrashing) {
   EXPECT_FALSE(DecodeStableBatch("", &st));
   HelloMsg hello;
   EXPECT_FALSE(DecodeHello("abc", &hello));
+}
+
+// The frame-body builders (header hole + payload, finalized in place) must
+// be byte-for-byte what EncodeFrame produces from the payload encoders —
+// the copy-free send path may not change a single wire byte.
+TEST(WireTest, FrameBodyBuildersMatchEncodeFrame) {
+  Rng rng(99);
+  const std::vector<OpRecord> ops = RandomOps(rng, 37);
+
+  std::string submit_frame = EncodeSubmitBatchFrame(5, ops.data(), ops.size());
+  FinalizeFrameHeader(MsgType::kSubmitBatch, 123, &submit_frame);
+  std::string submit_expected;
+  EncodeFrame(MsgType::kSubmitBatch, 123, EncodeSubmitBatch(5, ops),
+              &submit_expected);
+  EXPECT_EQ(submit_frame, submit_expected);
+
+  std::string stable_frame = EncodeStableBatchFrame(42, ops.data(), ops.size());
+  FinalizeFrameHeader(MsgType::kStableBatch, 7, &stable_frame);
+  std::string stable_expected;
+  EncodeFrame(MsgType::kStableBatch, 7, EncodeStableBatch(42, ops),
+              &stable_expected);
+  EXPECT_EQ(stable_frame, stable_expected);
 }
 
 TEST(WireTest, CrcMatchesKnownVector) {
